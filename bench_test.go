@@ -1,0 +1,154 @@
+// Package substream_bench holds the repository-level benchmark harness:
+// one benchmark per reproduced experiment (E1–E10, DESIGN.md §3) plus
+// throughput microbenchmarks for the estimators. The experiment benches
+// call the same runners as cmd/experiments at reduced scale, so
+// `go test -bench=.` regenerates every table's machinery end to end;
+// the full-scale numbers live in EXPERIMENTS.md.
+package substream_bench
+
+import (
+	"io"
+	"testing"
+
+	"substream/internal/core"
+	"substream/internal/experiments"
+	"substream/internal/rng"
+	"substream/internal/sample"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// benchCfg keeps experiment benches laptop-fast; cmd/experiments runs the
+// full scale.
+var benchCfg = experiments.Config{Scale: 0.1, Trials: 3, Seed: 1}
+
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(benchCfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		for _, t := range tables {
+			t.Render(io.Discard)
+		}
+	}
+}
+
+func BenchmarkE1FkAccuracy(b *testing.B)           { benchExperiment(b, "E1") }
+func BenchmarkE2TimeSpace(b *testing.B)            { benchExperiment(b, "E2") }
+func BenchmarkE3F0LowerBound(b *testing.B)         { benchExperiment(b, "E3") }
+func BenchmarkE4F0Accuracy(b *testing.B)           { benchExperiment(b, "E4") }
+func BenchmarkE5EntropyImpossibility(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6EntropyRatio(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7F1HeavyHitters(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8F2HeavyHitters(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9F2VsScaling(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10LevelSet(b *testing.B)            { benchExperiment(b, "E10") }
+
+// --- estimator throughput (items/sec on the sampled stream) ---
+
+func sampledZipf(n int, p float64) stream.Slice {
+	wl := workload.Zipf(n, 65536, 1.1, 7)
+	return sample.NewBernoulli(p).Apply(wl.Stream, rng.New(8))
+}
+
+func BenchmarkFkObserveLevelSet(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewFkEstimator(core.FkConfig{K: 2, P: 0.2, Budget: 4096}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+func BenchmarkFkObserveExact(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewFkEstimator(core.FkConfig{K: 2, P: 0.2, Exact: true}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+func BenchmarkF0Observe(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewF0Estimator(core.F0Config{P: 0.2}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+func BenchmarkEntropyObservePlugin(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewEntropyEstimator(core.EntropyConfig{P: 0.2}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+func BenchmarkF1HHObserve(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewF1HeavyHitters(core.F1HHConfig{P: 0.2, Alpha: 0.01}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+func BenchmarkF2HHObserve(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	e := core.NewF2HeavyHitters(core.F2HHConfig{P: 0.2, Alpha: 0.1}, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Observe(L[i%len(L)])
+	}
+}
+
+// BenchmarkBernoulliSamplePipeline measures the end-to-end sampling path
+// (generator → Bernoulli filter → estimator), the per-original-item cost
+// a monitor would pay.
+func BenchmarkBernoulliSamplePipeline(b *testing.B) {
+	wl := workload.Zipf(1<<17, 65536, 1.1, 9)
+	s := stream.Collect(wl.Stream)
+	bern := sample.NewBernoulli(0.1)
+	r := rng.New(2)
+	e := core.NewFkEstimator(core.FkConfig{K: 2, P: 0.1, Budget: 4096}, rng.New(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s[i%len(s)]
+		if r.Float64() < 0.1 {
+			e.Observe(it)
+		}
+		_ = bern
+	}
+}
+
+// --- ablation: adaptive sampling probability (paper's open question 2) ---
+
+func BenchmarkAdaptiveVsFixedP(b *testing.B) {
+	wl := workload.Zipf(1<<16, 8192, 1.1, 10)
+	s := stream.Collect(wl.Stream)
+	boundary := len(s) / 2
+	adaptive := sample.NewAdaptiveBernoulli([]int{boundary}, []float64{0.2, 0.05})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rng.New(uint64(i))
+		tagged := adaptive.Apply(s, r)
+		_ = adaptive.EstimateF2(tagged)
+	}
+}

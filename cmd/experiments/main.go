@@ -1,0 +1,90 @@
+// Command experiments regenerates every reproduction table (E1–E10 in
+// DESIGN.md §3). Each experiment validates one quantitative claim of the
+// paper; the output of a full run is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-run E1,E4] [-scale 1.0] [-trials 0] [-seed 24067] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"substream/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full run)")
+		trials = flag.Int("trials", 0, "override trials per cell (0 = per-experiment default)")
+		seed   = flag.Uint64("seed", 24067, "master seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		par    = flag.Bool("parallel", false, "run experiments concurrently (output buffered per experiment)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := experiments.Config{Scale: *scale, Trials: *trials, Seed: *seed}
+	var selected []experiments.Experiment
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		selected = append(selected, e)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q; use -list\n", *run)
+		os.Exit(1)
+	}
+
+	outputs := make([]string, len(selected))
+	runOne := func(i int) {
+		e := selected[i]
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "=== %s: %s\n    claim: %s\n\n", e.ID, e.Title, e.Claim)
+		start := time.Now()
+		for _, t := range e.Run(cfg) {
+			t.Render(&sb)
+		}
+		fmt.Fprintf(&sb, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		outputs[i] = sb.String()
+	}
+	if *par {
+		var wg sync.WaitGroup
+		for i := range selected {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, out := range outputs {
+			fmt.Print(out)
+		}
+	} else {
+		for i := range selected {
+			runOne(i)
+			fmt.Print(outputs[i])
+		}
+	}
+}

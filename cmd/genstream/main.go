@@ -1,0 +1,88 @@
+// Command genstream writes a synthetic workload stream to stdout or a
+// file, in the text format cmd/substream consumes.
+//
+// Usage:
+//
+//	genstream -kind zipf -n 100000 -m 4096 -s 1.1 [-seed 1] [-out stream.txt]
+//
+// Kinds: zipf, uniform, distinct, constfreq, planted, netflow,
+// f0adversarial, entropy1, entropy2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "zipf", "workload kind")
+		n    = flag.Int("n", 100000, "stream length")
+		m    = flag.Int("m", 4096, "universe size / distinct items")
+		s    = flag.Float64("s", 1.1, "zipf/netflow skew")
+		p    = flag.Float64("p", 0.1, "target sampling probability (entropy1 instance)")
+		hh   = flag.Int("hh", 5, "planted heavy hitters")
+		seed = flag.Uint64("seed", 1, "random seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	wl, err := build(*kind, *n, *m, *s, *p, *hh, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genstream:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genstream:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stream.WriteText(w, wl.Stream); err != nil {
+		fmt.Fprintln(os.Stderr, "genstream:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d items, universe %d\n", wl.Name, wl.Stream.Len(), wl.Universe)
+}
+
+func build(kind string, n, m int, s, p float64, hh int, seed uint64) (workload.Workload, error) {
+	switch kind {
+	case "zipf":
+		return workload.Zipf(n, m, s, seed), nil
+	case "uniform":
+		return workload.Uniform(n, m, seed), nil
+	case "distinct":
+		return workload.AllDistinct(n), nil
+	case "constfreq":
+		repeat := n / m
+		if repeat < 1 {
+			repeat = 1
+		}
+		return workload.ConstantFreq(m, repeat, seed), nil
+	case "planted":
+		return workload.PlantedHH(n, hh, n/(hh*10), m, seed), nil
+	case "netflow":
+		wl, _ := workload.NetFlow(n, m, s, 1.3, 4, seed)
+		return wl, nil
+	case "f0adversarial":
+		wl, dup := workload.F0Adversarial(n, m, seed)
+		fmt.Fprintf(os.Stderr, "f0adversarial branch: duplicated=%v\n", dup)
+		return wl, nil
+	case "entropy1":
+		return workload.EntropyScenario1(n, p), nil
+	case "entropy2":
+		return workload.EntropyScenario2(m), nil
+	default:
+		return workload.Workload{}, fmt.Errorf("unknown kind %q", kind)
+	}
+}

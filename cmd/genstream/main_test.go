@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"substream/internal/stream"
+)
+
+func TestBuildAllKinds(t *testing.T) {
+	kinds := []string{
+		"zipf", "uniform", "distinct", "constfreq", "planted",
+		"netflow", "f0adversarial", "entropy1", "entropy2",
+	}
+	for _, kind := range kinds {
+		wl, err := build(kind, 5000, 200, 1.1, 0.1, 5, 7)
+		if err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+		if wl.Stream.Len() == 0 {
+			t.Fatalf("kind %s produced empty stream", kind)
+		}
+		if err := stream.Validate(wl.Stream, wl.Universe); err != nil {
+			// Planted/netflow universes are nominal; only hard kinds
+			// must validate exactly.
+			switch kind {
+			case "zipf", "uniform", "distinct", "constfreq":
+				t.Fatalf("kind %s: %v", kind, err)
+			}
+		}
+		if wl.Name == "" {
+			t.Fatalf("kind %s has no name", kind)
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := build("nope", 100, 10, 1, 0.1, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBuildConstFreqSmallN(t *testing.T) {
+	// n < m: repeat clamps to 1.
+	wl, err := build("constfreq", 10, 100, 1, 0.1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Stream.Len() != 100 {
+		t.Fatalf("length %d", wl.Stream.Len())
+	}
+}

@@ -1,0 +1,138 @@
+// Command substream runs the paper's estimators over a stream. It reads
+// the ORIGINAL stream (file or stdin, one decimal item per line),
+// Bernoulli-samples it at rate -p exactly as a sampled-NetFlow monitor
+// would, feeds only the sampled stream to the chosen estimator, and
+// prints estimate vs exact.
+//
+// Usage:
+//
+//	substream -stat f2 -p 0.1 [-input stream.txt] [-k 3] [-alpha 0.05]
+//
+// Stats: f0, fk (with -k), entropy, hh1, hh2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"substream/internal/core"
+	"substream/internal/rng"
+	"substream/internal/sample"
+	"substream/internal/stream"
+)
+
+func main() {
+	var (
+		statName = flag.String("stat", "f2", "statistic: f0 | fk | entropy | hh1 | hh2")
+		p        = flag.Float64("p", 0.1, "Bernoulli sampling probability")
+		input    = flag.String("input", "", "input stream file (default stdin)")
+		k        = flag.Int("k", 2, "moment order for -stat fk")
+		alpha    = flag.Float64("alpha", 0.05, "heaviness threshold for hh1/hh2")
+		eps      = flag.Float64("eps", 0.2, "target relative error")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		exact    = flag.Bool("exact-collisions", false, "use the exact collision backend for fk")
+		budget   = flag.Int("budget", 4096, "level-set budget for fk")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *statName, *p, *input, *k, *alpha, *eps, *seed, *exact, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "substream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, statName string, p float64, input string, k int, alpha, eps float64, seed uint64, exact bool, budget int) error {
+	var in io.Reader = os.Stdin
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	// Accept "f3" etc. as shorthand for -stat fk -k 3.
+	if len(statName) == 2 && statName[0] == 'f' && statName[1] >= '2' && statName[1] <= '9' {
+		k = int(statName[1] - '0')
+		statName = "fk"
+	}
+
+	s, err := stream.ReadText(in)
+	if err != nil {
+		return err
+	}
+	if len(s) == 0 {
+		return fmt.Errorf("empty input stream")
+	}
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("p must be in (0, 1], got %v", p)
+	}
+
+	r := rng.New(seed)
+	f := stream.NewFreq(s)
+	L := sample.NewBernoulli(p).Apply(s, r.Split())
+	fmt.Fprintf(w, "original stream: n=%d distinct=%d; sampled |L|=%d (p=%g)\n",
+		len(s), f.F0(), len(L), p)
+
+	switch statName {
+	case "f0":
+		e := core.NewF0Estimator(core.F0Config{P: p}, r.Split())
+		for _, it := range L {
+			e.Observe(it)
+		}
+		report(w, "F0", e.Estimate(), float64(f.F0()))
+		fmt.Fprintf(w, "guaranteed multiplicative bound: %.2f (Lemma 8)\n", e.ErrorBound())
+	case "fk":
+		e := core.NewFkEstimator(core.FkConfig{K: k, P: p, Epsilon: eps, Exact: exact, Budget: budget}, r.Split())
+		for _, it := range L {
+			e.Observe(it)
+		}
+		report(w, fmt.Sprintf("F%d", k), e.Estimate(), f.Fk(k))
+		fmt.Fprintf(w, "minimum meaningful p (Thm 1): %.4g\n",
+			core.MinSamplingP(uint64(f.F0()), uint64(len(s)), k))
+	case "entropy":
+		e := core.NewEntropyEstimator(core.EntropyConfig{P: p}, r.Split())
+		for _, it := range L {
+			e.Observe(it)
+		}
+		report(w, "H", e.Estimate(), f.Entropy())
+		fmt.Fprintf(w, "additive floor (Thm 5): %.4g bits\n", e.AdditiveFloor(uint64(len(s))))
+	case "hh1":
+		e := core.NewF1HeavyHitters(core.F1HHConfig{P: p, Alpha: alpha, Epsilon: eps}, r.Split())
+		for _, it := range L {
+			e.Observe(it)
+		}
+		printHitters(w, e.Report(), f)
+	case "hh2":
+		e := core.NewF2HeavyHitters(core.F2HHConfig{P: p, Alpha: alpha, Epsilon: eps}, r.Split())
+		for _, it := range L {
+			e.Observe(it)
+		}
+		printHitters(w, e.Report(), f)
+	default:
+		return fmt.Errorf("unknown stat %q (want f0 | fk | entropy | hh1 | hh2)", statName)
+	}
+	return nil
+}
+
+func report(w io.Writer, name string, est, exact float64) {
+	rel := 0.0
+	if exact != 0 {
+		rel = (est - exact) / exact
+	}
+	fmt.Fprintf(w, "%s estimate: %.6g   exact: %.6g   relative error: %+.2f%%\n",
+		name, est, exact, 100*rel)
+}
+
+func printHitters(w io.Writer, hh []core.ReportedHitter, f stream.Freq) {
+	if len(hh) == 0 {
+		fmt.Fprintln(w, "no heavy hitters detected")
+		return
+	}
+	fmt.Fprintf(w, "%-12s %-14s %-10s\n", "item", "est freq", "true freq")
+	for _, h := range hh {
+		fmt.Fprintf(w, "%-12d %-14.1f %-10d\n", h.Item, h.Freq, f[h.Item])
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// writeStreamFile materializes a workload to a temp file in the CLI's
+// text format.
+func writeStreamFile(t *testing.T, wl workload.Workload) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stream.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.WriteText(f, wl.Stream); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllStats(t *testing.T) {
+	path := writeStreamFile(t, workload.Zipf(20000, 500, 1.1, 1))
+	for _, stat := range []string{"f0", "fk", "entropy", "hh1", "hh2", "f3"} {
+		var out bytes.Buffer
+		if err := run(&out, stat, 0.3, path, 2, 0.05, 0.2, 1, true, 1024); err != nil {
+			t.Fatalf("stat %s: %v", stat, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "original stream: n=20000") {
+			t.Fatalf("stat %s missing header:\n%s", stat, got)
+		}
+		switch stat {
+		case "f0":
+			if !strings.Contains(got, "Lemma 8") {
+				t.Fatalf("f0 missing bound:\n%s", got)
+			}
+		case "fk":
+			if !strings.Contains(got, "F2 estimate") {
+				t.Fatalf("fk output:\n%s", got)
+			}
+		case "f3":
+			if !strings.Contains(got, "F3 estimate") {
+				t.Fatalf("f3 shorthand not honoured:\n%s", got)
+			}
+		case "entropy":
+			if !strings.Contains(got, "additive floor") {
+				t.Fatalf("entropy output:\n%s", got)
+			}
+		case "hh1", "hh2":
+			if !strings.Contains(got, "est freq") && !strings.Contains(got, "no heavy hitters") {
+				t.Fatalf("%s output:\n%s", stat, got)
+			}
+		}
+	}
+}
+
+func TestRunHH1FindsPlantedHitters(t *testing.T) {
+	path := writeStreamFile(t, workload.PlantedHH(50000, 3, 5000, 10000, 2))
+	var out bytes.Buffer
+	if err := run(&out, "hh1", 0.3, path, 2, 0.05, 0.2, 1, false, 1024); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"1 ", "2 ", "3 "} {
+		if !strings.Contains(got, id) {
+			t.Fatalf("planted hitter %q missing:\n%s", id, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeStreamFile(t, workload.Zipf(1000, 50, 1.0, 3))
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"unknown stat", func() error {
+			return run(new(bytes.Buffer), "nope", 0.5, path, 2, 0.05, 0.2, 1, false, 64)
+		}},
+		{"bad p", func() error {
+			return run(new(bytes.Buffer), "f0", 1.5, path, 2, 0.05, 0.2, 1, false, 64)
+		}},
+		{"missing file", func() error {
+			return run(new(bytes.Buffer), "f0", 0.5, path+".nope", 2, 0.05, 0.2, 1, false, 64)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Fatalf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(new(bytes.Buffer), "f0", 0.5, path, 2, 0.05, 0.2, 1, false, 64); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Self-join size estimation from a sampled update stream — the database
+// workload behind F₂ (§1.3's comparison with Rusu–Dobra, "Sketching
+// sampled data streams", ICDE 2009).
+//
+// A table receives a stream of inserts keyed by join attribute; the
+// optimizer wants |R ⋈ R| = F₂ of the key-frequency vector, but the
+// monitor only sees a p-sample of the inserts. Three estimators compete:
+//
+//   - Algorithm 1 (collision method, this paper): Õ(1/p) space
+//   - Rusu–Dobra scaling: sketch F₂(L), invert the expectation — error
+//     amplified by 1/p²
+//   - naive normalization F₂(L)/p²: ignores the binomial cross-terms
+//
+// Run: go run ./examples/selfjoin
+package main
+
+import (
+	"fmt"
+
+	"substream/internal/core"
+	"substream/internal/rng"
+	"substream/internal/sample"
+	"substream/internal/stats"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+func main() {
+	const (
+		inserts = 400000
+		keys    = 100000
+		trials  = 7
+	)
+	r := rng.New(11)
+	// Near-uniform key frequencies (≈13 rows per key): the regime where
+	// F₂ is only a constant factor above F₁ and the sampling cross-terms
+	// dominate — exactly where the three estimators separate.
+	wl := workload.Uniform(inserts, keys, r.Uint64())
+	exact := stream.NewFreq(wl.Stream).Fk(2)
+	fmt.Printf("insert stream: %d rows, %d join keys, true |R⋈R| = %.4g\n\n",
+		inserts, keys, exact)
+
+	fmt.Printf("%-6s %-18s %-18s %-18s\n", "p", "collision (Alg 1)", "Rusu-Dobra scale", "naive F2(L)/p²")
+	for _, p := range []float64{0.5, 0.1, 0.02} {
+		var coll, scale, naive stats.Summary
+		for tr := 0; tr < trials; tr++ {
+			ce := core.NewFkEstimator(core.FkConfig{K: 2, P: p, Epsilon: 0.2, Budget: 2048}, r.Split())
+			se := core.NewScaledF2Estimator(core.ScaledF2Config{P: p, Width: 2048, Depth: 5}, r.Split())
+			ne := core.NewNaiveFkEstimator(2, p)
+			_ = sample.NewBernoulli(p).Pipe(wl.Stream, r.Split(), func(it stream.Item) error {
+				ce.Observe(it)
+				se.Observe(it)
+				ne.Observe(it)
+				return nil
+			})
+			coll.Add(stats.RelErr(ce.Estimate(), exact))
+			scale.Add(stats.RelErr(se.Estimate(), exact))
+			naive.Add(stats.RelErr(ne.Estimate(), exact))
+		}
+		fmt.Printf("%-6g %-18s %-18s %-18s\n", p,
+			pct(coll.Median()), pct(scale.Median()), pct(naive.Median()))
+	}
+
+	fmt.Println("\nmedian relative error over", trials, "independent samples per cell.")
+	fmt.Println("shape to expect: all methods fine at p=0.5; naive collapses as the")
+	fmt.Println("linear binomial term grows; scaling degrades faster than collision.")
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"substream/internal/stream"
+)
+
+func TestBetasKnownValues(t *testing.T) {
+	// ℓ = 2: x(x−1) = x² − x → F2 = 2!C2 + F1, so β₁² = +1.
+	b2 := Betas(2)
+	if b2[1] != 1 {
+		t.Fatalf("β₁² = %v, want 1", b2[1])
+	}
+	// ℓ = 3: x(x−1)(x−2) = x³ − 3x² + 2x → F3 = 3!C3 + 3F2 − 2F1.
+	b3 := Betas(3)
+	if b3[1] != -2 || b3[2] != 3 {
+		t.Fatalf("β³ = %v, want [_, -2, 3]", b3)
+	}
+	// ℓ = 4: x⁽⁴⁾ = x⁴ − 6x³ + 11x² − 6x → β = [_, 6, −11, 6].
+	b4 := Betas(4)
+	if b4[1] != 6 || b4[2] != -11 || b4[3] != 6 {
+		t.Fatalf("β⁴ = %v", b4)
+	}
+}
+
+// elementarySymmetric computes e_k(1, 2, …, n) by dynamic programming.
+func elementarySymmetric(n, k int) float64 {
+	// e[j] after processing value v: e_j ← e_j + v·e_{j−1}.
+	e := make([]float64, k+1)
+	e[0] = 1
+	for v := 1; v <= n; v++ {
+		for j := k; j >= 1; j-- {
+			e[j] += float64(v) * e[j-1]
+		}
+	}
+	return e[k]
+}
+
+func TestBetasMatchElementarySymmetricDefinition(t *testing.T) {
+	// Paper: β_l^ℓ = (−1)^(ℓ−l+1)·e_{ℓ−l}(1, …, ℓ−1).
+	for l := 2; l <= maxMomentOrder; l++ {
+		betas := Betas(l)
+		for i := 1; i < l; i++ {
+			sign := 1.0
+			if (l-i+1)%2 == 1 {
+				sign = -1
+			}
+			want := sign * elementarySymmetric(l-1, l-i)
+			if betas[i] != want {
+				t.Fatalf("β_%d^%d = %v, want %v", i, l, betas[i], want)
+			}
+		}
+	}
+}
+
+func TestLemma1Identity(t *testing.T) {
+	// F_ℓ(P) = ℓ!·C_ℓ(P) + Σ β_l^ℓ F_l(P) must hold exactly for any
+	// frequency vector.
+	f := func(counts [10]uint8) bool {
+		var s stream.Slice
+		for i, c := range counts {
+			for j := 0; j < int(c%32); j++ {
+				s = append(s, stream.Item(i+1))
+			}
+		}
+		if len(s) == 0 {
+			return true
+		}
+		fr := stream.NewFreq(s)
+		for l := 2; l <= 6; l++ {
+			rhs := Factorial(l) * fr.Collisions(l)
+			for i, beta := range Betas(l) {
+				if i == 0 {
+					continue
+				}
+				rhs += beta * fr.Fk(i)
+			}
+			lhs := fr.Fk(l)
+			if math.Abs(lhs-rhs) > 1e-6*math.Max(1, lhs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaAbsSum(t *testing.T) {
+	if got := BetaAbsSum(2); got != 1 {
+		t.Fatalf("A₂ = %v, want 1", got)
+	}
+	if got := BetaAbsSum(3); got != 5 {
+		t.Fatalf("A₃ = %v, want 5", got)
+	}
+	if got := BetaAbsSum(4); got != 23 {
+		t.Fatalf("A₄ = %v, want 23", got)
+	}
+}
+
+func TestEpsilonScheduleShape(t *testing.T) {
+	eps := EpsilonSchedule(4, 0.1)
+	if eps[4] != 0.1 {
+		t.Fatalf("ε₄ = %v", eps[4])
+	}
+	// ε₃ = ε₄/(A₄+1) = 0.1/24; ε₂ = ε₃/(A₃+1) = ε₃/6; ε₁ = ε₂/(A₂+1) = ε₂/2.
+	if math.Abs(eps[3]-0.1/24) > 1e-15 {
+		t.Fatalf("ε₃ = %v", eps[3])
+	}
+	if math.Abs(eps[2]-eps[3]/6) > 1e-15 {
+		t.Fatalf("ε₂ = %v", eps[2])
+	}
+	if math.Abs(eps[1]-eps[2]/2) > 1e-15 {
+		t.Fatalf("ε₁ = %v", eps[1])
+	}
+	// Monotone: ε_i ≤ ε_j for i ≤ j (used by Lemma 4's proof).
+	for i := 1; i < 4; i++ {
+		if eps[i] > eps[i+1] {
+			t.Fatalf("schedule not monotone: %v", eps)
+		}
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720}
+	for i, w := range want {
+		if got := Factorial(i); got != w {
+			t.Fatalf("%d! = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBetasPanics(t *testing.T) {
+	for _, l := range []int{0, maxMomentOrder + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Betas(%d) did not panic", l)
+				}
+			}()
+			Betas(l)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EpsilonSchedule(2, 0) did not panic")
+			}
+		}()
+		EpsilonSchedule(2, 0)
+	}()
+}
+
+func TestStirlingRowSums(t *testing.T) {
+	// Identity: Σ_k |s(n,k)| = n! and Σ_k s(n,k) = 0 for n ≥ 2.
+	s := stirlingFirst(8)
+	for n := 2; n <= 8; n++ {
+		var absSum, sum float64
+		for k := 0; k <= n; k++ {
+			sum += s[n][k]
+			absSum += math.Abs(s[n][k])
+		}
+		if sum != 0 {
+			t.Fatalf("Σ s(%d,·) = %v, want 0", n, sum)
+		}
+		if absSum != Factorial(n) {
+			t.Fatalf("Σ |s(%d,·)| = %v, want %d!", n, absSum, n)
+		}
+	}
+}

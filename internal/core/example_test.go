@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"substream/internal/core"
+	"substream/internal/rng"
+	"substream/internal/sample"
+	"substream/internal/stream"
+)
+
+// ExampleFkEstimator shows the F₂ path: the estimator sees only the
+// Bernoulli-sampled stream yet reports the second moment of the
+// original one.
+func ExampleFkEstimator() {
+	// Original stream: items 1..4 with frequencies 40, 30, 20, 10.
+	var original stream.Slice
+	for it, f := range map[stream.Item]int{1: 40, 2: 30, 3: 20, 4: 10} {
+		for i := 0; i < f; i++ {
+			original = append(original, it)
+		}
+	}
+	exact := stream.NewFreq(original).Fk(2) // 1600+900+400+100 = 3000
+
+	const p = 1.0 // sample everything: the estimate is then exact
+	est := core.NewFkEstimator(core.FkConfig{K: 2, P: p, Exact: true}, rng.New(1))
+	L := sample.NewBernoulli(p).Apply(original, rng.New(2))
+	for _, it := range L {
+		est.Observe(it)
+	}
+	fmt.Printf("exact F2 = %.0f, estimate = %.0f\n", exact, est.Estimate())
+	// Output: exact F2 = 3000, estimate = 3000
+}
+
+// ExampleBetas shows the Lemma 1 coefficients for ℓ = 4:
+// F₄ = 4!·C₄ + 6F₁ − 11F₂ + 6F₃.
+func ExampleBetas() {
+	fmt.Println(core.Betas(4)[1:])
+	// Output: [6 -11 6]
+}
+
+// ExampleF0Estimator shows Algorithm 2's structure: a streaming distinct
+// count over L, scaled by 1/√p, with the Lemma 8 error bound available
+// to the caller.
+func ExampleF0Estimator() {
+	est := core.NewF0Estimator(core.F0Config{P: 0.25}, rng.New(1))
+	for i := 1; i <= 100; i++ {
+		est.Observe(stream.Item(i)) // pretend these survived sampling
+	}
+	fmt.Printf("F0(L) seen = %.0f, bound = %.0f\n",
+		est.SampledEstimate(), est.ErrorBound())
+	// Output: F0(L) seen = 100, bound = 8
+}
+
+// ExampleMonitor runs every estimator in one pass — the sampled-NetFlow
+// collector shape.
+func ExampleMonitor() {
+	mon := core.NewMonitor(core.MonitorConfig{P: 1, HHAlpha: 0.4}, rng.New(3))
+	for i := 0; i < 6; i++ {
+		mon.Observe(7) // one dominant flow
+	}
+	for i := 0; i < 4; i++ {
+		mon.Observe(stream.Item(i + 10))
+	}
+	rep := mon.Report()
+	fmt.Printf("n=%d hitters=%d\n", rep.SampledLength, len(rep.F1HeavyHitters))
+	// Output: n=10 hitters=1
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+
+	"substream/internal/rng"
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// F0Estimator is Algorithm 2: estimate F₀(P) from the sampled stream by
+// computing a constant-factor streaming estimate X of F₀(L) and returning
+// X/√p. Lemma 8 bounds the multiplicative error by 4/√p with probability
+// ≥ 1 − (δ + e^(−pF₀/8)); Theorem 4 shows Ω(1/√p) error is unavoidable
+// for some streams, so this is tight up to constants.
+type F0Estimator struct {
+	p       float64
+	backend distinctBackend
+}
+
+// distinctBackend is the streaming F₀(L) estimator Algorithm 2 consumes;
+// KMV and HLL both satisfy it.
+type distinctBackend interface {
+	Observe(it stream.Item)
+	Estimate() float64
+	SpaceBytes() int
+}
+
+// F0Backend selects the streaming distinct-count estimator run on L.
+type F0Backend int
+
+// Supported F0 backends.
+const (
+	// F0KMV uses the k-minimum-values sketch (default; exact below k).
+	F0KMV F0Backend = iota
+	// F0HLL uses the stochastic-averaging (HyperLogLog-family) sketch.
+	F0HLL
+)
+
+// F0Config configures an F0Estimator.
+type F0Config struct {
+	// P is the Bernoulli sampling probability.
+	P float64
+	// Backend selects the streaming F₀(L) estimator. Default F0KMV.
+	Backend F0Backend
+	// KMVSize is the k of the KMV backend. Default 1024.
+	KMVSize int
+	// HLLPrecision is the register exponent of the HLL backend.
+	// Default 12 (4096 registers).
+	HLLPrecision uint
+}
+
+// NewF0Estimator builds the estimator.
+func NewF0Estimator(cfg F0Config, r *rng.Xoshiro256) *F0Estimator {
+	if cfg.P <= 0 || cfg.P > 1 {
+		panic("core: F0Estimator P must be in (0, 1]")
+	}
+	var backend distinctBackend
+	switch cfg.Backend {
+	case F0KMV:
+		k := cfg.KMVSize
+		if k == 0 {
+			k = 1024
+		}
+		backend = sketch.NewKMV(k, r)
+	case F0HLL:
+		prec := cfg.HLLPrecision
+		if prec == 0 {
+			prec = 12
+		}
+		backend = sketch.NewHLL(prec, r)
+	default:
+		panic("core: unknown F0 backend")
+	}
+	return &F0Estimator{p: cfg.P, backend: backend}
+}
+
+// Observe feeds one element of the sampled stream L.
+func (e *F0Estimator) Observe(it stream.Item) { e.backend.Observe(it) }
+
+// Estimate returns the Algorithm 2 estimate X/√p of F₀(P).
+func (e *F0Estimator) Estimate() float64 {
+	return e.backend.Estimate() / math.Sqrt(e.p)
+}
+
+// SampledEstimate returns the backend's estimate of F₀(L) itself.
+func (e *F0Estimator) SampledEstimate() float64 { return e.backend.Estimate() }
+
+// ErrorBound returns Lemma 8's multiplicative error bound 4/√p.
+func (e *F0Estimator) ErrorBound() float64 { return 4 / math.Sqrt(e.p) }
+
+// SpaceBytes returns the approximate memory footprint.
+func (e *F0Estimator) SpaceBytes() int { return e.backend.SpaceBytes() + 16 }
+
+// F0LowerBoundError returns Theorem 4's error floor: for p ≤ 1/12 there
+// are streams on which any estimator observing L errs by at least
+// √(ln 2/(12p)) with probability ≥ (1−e^(−np))/2. The experiment harness
+// plots this curve against measured errors.
+func F0LowerBoundError(p float64) float64 {
+	return math.Sqrt(math.Ln2 / (12 * p))
+}
+
+// GEEF0Estimator is the Guaranteed-Error Estimator of Charikar et al.
+// adapted to Bernoulli samples — the "current best offline method"
+// referenced in §1.2(2), implemented in streaming fashion. It maintains
+// the exact frequency profile of L (space O(F₀(L))) and estimates
+//
+//	F̂₀ = √(1/p)·f₁(L) + Σ_{j≥2} f_j(L)
+//
+// where f_j(L) counts distinct items appearing exactly j times in L:
+// items seen twice or more almost certainly exist in P regardless of p,
+// while singletons are scaled by the GEE factor √(n/r) = √(1/p). Its
+// worst-case error matches the Theorem 3 lower bound up to constants.
+type GEEF0Estimator struct {
+	p      float64
+	counts stream.Freq
+}
+
+// NewGEEF0Estimator builds the estimator.
+func NewGEEF0Estimator(p float64) *GEEF0Estimator {
+	if p <= 0 || p > 1 {
+		panic("core: GEEF0Estimator P must be in (0, 1]")
+	}
+	return &GEEF0Estimator{p: p, counts: make(stream.Freq)}
+}
+
+// Observe feeds one element of the sampled stream L.
+func (e *GEEF0Estimator) Observe(it stream.Item) { e.counts[it]++ }
+
+// Estimate returns the GEE estimate of F₀(P).
+func (e *GEEF0Estimator) Estimate() float64 {
+	var singletons, repeated float64
+	for _, c := range e.counts {
+		if c == 1 {
+			singletons++
+		} else {
+			repeated++
+		}
+	}
+	return singletons/math.Sqrt(e.p) + repeated
+}
+
+// SpaceBytes returns the approximate memory footprint (linear in F₀(L) —
+// GEE trades space for its better constants).
+func (e *GEEF0Estimator) SpaceBytes() int { return 16 * len(e.counts) }

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"substream/internal/rng"
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// This file implements the heavy-hitter estimators of §6. Both follow the
+// same shape the proofs use: run a standard heavy-hitters algorithm on
+// the sampled stream with a threshold deflated to α′ = (1 − 2ε/5)·α
+// (times √p in the F₂ case), then scale reported frequencies back by 1/p.
+
+// ReportedHitter is one reported heavy hitter with its estimated original
+// frequency f′_i (already scaled by 1/p).
+type ReportedHitter struct {
+	Item stream.Item
+	Freq float64
+}
+
+// F1Backend selects the sampled-stream heavy-hitter algorithm used by
+// F1HeavyHitters.
+type F1Backend int
+
+// Supported F1 heavy-hitter backends.
+const (
+	// F1CountMin uses the CountMin sketch, as in Theorem 6's proof.
+	F1CountMin F1Backend = iota
+	// F1MisraGries uses the Misra–Gries summary, the insert-only
+	// alternative the paper notes.
+	F1MisraGries
+)
+
+// F1HeavyHitters implements Theorem 6: observing L, report every item
+// with f_i ≥ α·F₁(P), no item with f_i < (1−ε)·α·F₁(P), and (1±ε)
+// frequency estimates, provided F₁(P) ≥ C·p⁻¹α⁻¹ε⁻²·log(n/δ).
+type F1HeavyHitters struct {
+	p        float64
+	alpha    float64
+	eps      float64
+	alphaPr  float64
+	cm       *sketch.CountMin
+	mg       *sketch.MisraGries
+	tracker  *sketch.TopK
+	observed uint64
+}
+
+// F1HHConfig configures F1HeavyHitters.
+type F1HHConfig struct {
+	// P is the Bernoulli sampling probability.
+	P float64
+	// Alpha is the heaviness threshold α (report f_i ≥ α·F₁).
+	Alpha float64
+	// Epsilon is the exclusion/estimation slack ε. Default 0.2.
+	Epsilon float64
+	// Delta is the failure probability budget. Default 0.05.
+	Delta float64
+	// Backend selects CountMin (default) or Misra–Gries.
+	Backend F1Backend
+}
+
+// NewF1HeavyHitters builds the estimator.
+func NewF1HeavyHitters(cfg F1HHConfig, r *rng.Xoshiro256) *F1HeavyHitters {
+	if cfg.P <= 0 || cfg.P > 1 {
+		panic("core: F1HeavyHitters P must be in (0, 1]")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		panic("core: F1HeavyHitters Alpha must be in (0, 1)")
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.2
+	}
+	if eps < 0 || eps >= 1 {
+		panic("core: F1HeavyHitters Epsilon must be in (0, 1)")
+	}
+	delta := cfg.Delta
+	if delta == 0 {
+		delta = 0.05
+	}
+	alphaPr := (1 - 2*eps/5) * cfg.Alpha
+	h := &F1HeavyHitters{
+		p:       cfg.P,
+		alpha:   cfg.Alpha,
+		eps:     eps,
+		alphaPr: alphaPr,
+		tracker: sketch.NewTopK(trackerCapacity(cfg.Alpha)),
+	}
+	switch cfg.Backend {
+	case F1CountMin:
+		// Point error ≤ (ε/20)·α′·F₁(L) so thresholding at α′·F₁(L)
+		// separates the (1−ε/2) band, per Theorem 6's proof.
+		h.cm = sketch.NewCountMinWithError(eps*alphaPr/20, delta/4, r)
+	case F1MisraGries:
+		k := int(math.Ceil(20 / (eps * alphaPr)))
+		h.mg = sketch.NewMisraGries(k)
+	default:
+		panic("core: unknown F1 heavy-hitter backend")
+	}
+	return h
+}
+
+// trackerCapacity sizes the candidate set: O(1/α) items per Definition 4,
+// with headroom for near-threshold churn.
+func trackerCapacity(alpha float64) int {
+	c := int(math.Ceil(4 / alpha))
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
+// Observe feeds one element of the sampled stream L.
+func (h *F1HeavyHitters) Observe(it stream.Item) {
+	h.observed++
+	if h.cm != nil {
+		h.cm.Observe(it)
+		h.tracker.Update(it, float64(h.cm.Estimate(it)))
+	} else {
+		h.mg.Observe(it)
+		h.tracker.Update(it, float64(h.mg.Estimate(it)))
+	}
+}
+
+// Report returns the detected heavy hitters of the original stream,
+// sorted by decreasing estimated frequency.
+func (h *F1HeavyHitters) Report() []ReportedHitter {
+	nL := float64(h.observed)
+	threshold := h.alphaPr * nL
+	if h.mg != nil {
+		// Misra–Gries undercounts by ≤ N/(k+1); admit candidates whose
+		// upper bound clears the threshold.
+		threshold -= h.mg.ErrorBound()
+	}
+	var out []ReportedHitter
+	for _, e := range h.tracker.Items() {
+		// Re-query the sketch for the freshest estimate.
+		var est float64
+		if h.cm != nil {
+			est = float64(h.cm.Estimate(e.Item))
+		} else {
+			est = float64(h.mg.Estimate(e.Item))
+		}
+		if est >= threshold {
+			out = append(out, ReportedHitter{Item: e.Item, Freq: est / h.p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// MinStreamLength returns Theorem 6's premise: the F₁(P) floor
+// C·p⁻¹α⁻¹ε⁻²·log(n/δ) below which the guarantee is void (C taken as 1).
+func (h *F1HeavyHitters) MinStreamLength(n uint64, delta float64) float64 {
+	return math.Log(float64(n)/delta) / (h.p * h.alpha * h.eps * h.eps)
+}
+
+// SpaceBytes returns the approximate memory footprint.
+func (h *F1HeavyHitters) SpaceBytes() int {
+	s := 48 * h.tracker.Len()
+	if h.cm != nil {
+		s += h.cm.SpaceBytes()
+	} else {
+		s += h.mg.SpaceBytes()
+	}
+	return s
+}
+
+// F2HeavyHitters implements Theorem 7: observing L, report the
+// (α, 1−p^(1/2)(1−ε)) F₂-heavy hitters of the original stream via a
+// CountSketch on L with deflated threshold α′ = (1−2ε/5)·α·√p. Space is
+// the paper's Õ(1/p): the sketch width scales as 1/(ε²α²p).
+type F2HeavyHitters struct {
+	p       float64
+	alpha   float64
+	eps     float64
+	alphaPr float64
+	cs      *sketch.CountSketch
+	tracker *sketch.TopK
+	nL      uint64
+}
+
+// F2HHConfig configures F2HeavyHitters.
+type F2HHConfig struct {
+	// P is the Bernoulli sampling probability.
+	P float64
+	// Alpha is the heaviness threshold α (report f_i ≥ α·√F₂).
+	Alpha float64
+	// Epsilon is the exclusion slack ε. Default 0.2.
+	Epsilon float64
+	// Depth is the CountSketch depth. Default 5.
+	Depth int
+	// MaxWidth caps the derived sketch width (0 = 1<<18), protecting
+	// callers who pass extreme (ε, α, p) combinations.
+	MaxWidth int
+}
+
+// NewF2HeavyHitters builds the estimator.
+func NewF2HeavyHitters(cfg F2HHConfig, r *rng.Xoshiro256) *F2HeavyHitters {
+	if cfg.P <= 0 || cfg.P > 1 {
+		panic("core: F2HeavyHitters P must be in (0, 1]")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 {
+		panic("core: F2HeavyHitters Alpha must be in (0, 1)")
+	}
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = 0.2
+	}
+	if eps < 0 || eps >= 1 {
+		panic("core: F2HeavyHitters Epsilon must be in (0, 1)")
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = 5
+	}
+	alphaPr := (1 - 2*eps/5) * cfg.Alpha * math.Sqrt(cfg.P)
+	// Additive point error ≈ √(F₂(L)/width) must be ≤ (ε/10)·α′·√F₂(L):
+	// width ≥ 100/(ε·α′)² = Θ(1/(ε²α²p)) — the paper's Õ(1/p).
+	width := int(math.Ceil(100 / (eps * alphaPr * eps * alphaPr)))
+	maxWidth := cfg.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 1 << 18
+	}
+	if width > maxWidth {
+		width = maxWidth
+	}
+	if width < 16 {
+		width = 16
+	}
+	return &F2HeavyHitters{
+		p:       cfg.P,
+		alpha:   cfg.Alpha,
+		eps:     eps,
+		alphaPr: alphaPr,
+		cs:      sketch.NewCountSketch(width, depth, r),
+		tracker: sketch.NewTopK(trackerCapacity(cfg.Alpha)),
+	}
+}
+
+// Observe feeds one element of the sampled stream L.
+func (h *F2HeavyHitters) Observe(it stream.Item) {
+	h.nL++
+	h.cs.Observe(it)
+	if est := h.cs.Estimate(it); est > 0 {
+		h.tracker.Update(it, float64(est))
+	}
+}
+
+// Report returns the detected F₂-heavy hitters of the original stream,
+// sorted by decreasing estimated frequency.
+func (h *F2HeavyHitters) Report() []ReportedHitter {
+	f2L := h.cs.F2Estimate()
+	threshold := h.alphaPr * math.Sqrt(f2L)
+	var out []ReportedHitter
+	for _, e := range h.tracker.Items() {
+		est := float64(h.cs.Estimate(e.Item))
+		if est >= threshold {
+			out = append(out, ReportedHitter{Item: e.Item, Freq: est / h.p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// MinF2 returns Theorem 7's premise: √F₂ ≥ C·p^(−3/2)·α⁻¹ε⁻²·log(n/δ)
+// (C taken as 1).
+func (h *F2HeavyHitters) MinF2(n uint64, delta float64) float64 {
+	return math.Log(float64(n)/delta) / (math.Pow(h.p, 1.5) * h.alpha * h.eps * h.eps)
+}
+
+// SpaceBytes returns the approximate memory footprint.
+func (h *F2HeavyHitters) SpaceBytes() int {
+	return h.cs.SpaceBytes() + 48*h.tracker.Len()
+}

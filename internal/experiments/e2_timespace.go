@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"substream/internal/core"
+	"substream/internal/sample"
+	"substream/internal/stats"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// e2TimeSpace validates the §1.2 time–space tradeoff: for F₂ with
+// n = Θ(m), setting p = Θ̃(1/√n) gives an estimator whose total work and
+// workspace are both Õ(√n) — sublinear in the stream — while still
+// achieving a constant-factor estimate.
+func e2TimeSpace() Experiment {
+	return Experiment{
+		ID:    "E2",
+		Title: "time/space tradeoff at p = Θ(1/√n) for F₂",
+		Claim: "Sec 1.2: O~(sqrt(n)) total processing time and workspace for F2",
+		Run: func(cfg Config) []*stats.Table {
+			r := cfg.rng()
+			t := stats.NewTable("E2: F₂ with p = 4/√n on zipf(1.0), n = m",
+				"n", "p", "|L|", "sample+process ms", "space KB", "space/√n", "mult err")
+			for _, logN := range []int{14, 16, 18} {
+				n := cfg.scaledN(1 << logN)
+				wl := workload.Zipf(n, n, 1.0, r.Uint64())
+				exact := stream.NewFreq(wl.Stream).Fk(2)
+				p := 4 / math.Sqrt(float64(n))
+				if p > 1 {
+					p = 1
+				}
+				e := core.NewFkEstimator(core.FkConfig{K: 2, P: p, Exact: true}, r.Split())
+				b := sample.NewBernoulli(p)
+				start := time.Now()
+				nL := 0
+				_ = b.Pipe(wl.Stream, r.Split(), func(it stream.Item) error {
+					nL++
+					e.Observe(it)
+					return nil
+				})
+				elapsed := time.Since(start)
+				est := e.Estimate()
+				space := e.SpaceBytes()
+				t.AddRow(n, p, nL,
+					float64(elapsed.Microseconds())/1000,
+					float64(space)/1024,
+					float64(space)/math.Sqrt(float64(n)),
+					stats.MultErr(est, exact))
+			}
+			t.AddNote("space/√n should stay roughly flat as n grows (Õ(√n) workspace)")
+			return []*stats.Table{t}
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"math"
+
+	"substream/internal/core"
+	"substream/internal/stats"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// hhTruth returns the ground-truth Fk-heavy-hitter id sets at the
+// inclusion threshold α and the exclusion line (1−ε)·α.
+func hhTruth(f stream.Freq, k int, alpha, eps float64) (include, grayzone map[uint64]bool) {
+	include = make(map[uint64]bool)
+	grayzone = make(map[uint64]bool)
+	threshold := alpha * math.Pow(f.Fk(k), 1/float64(k))
+	for it, c := range f {
+		if float64(c) >= threshold {
+			include[uint64(it)] = true
+		} else if float64(c) >= (1-eps)*threshold {
+			grayzone[uint64(it)] = true
+		}
+	}
+	return include, grayzone
+}
+
+// hhScore runs one heavy-hitter trial and scores recall of the must-set,
+// false positives below the exclusion line, and worst frequency error on
+// the must-set.
+func hhScore(rep []core.ReportedHitter, f stream.Freq, include, grayzone map[uint64]bool) (recall float64, falsePos int, worstFreqErr float64) {
+	reported := make(map[uint64]float64, len(rep))
+	for _, h := range rep {
+		reported[uint64(h.Item)] = h.Freq
+	}
+	found := 0
+	for it := range include {
+		est, ok := reported[it]
+		if !ok {
+			continue
+		}
+		found++
+		truth := float64(f[stream.Item(it)])
+		if e := stats.RelErr(est, truth); e > worstFreqErr {
+			worstFreqErr = e
+		}
+	}
+	if len(include) > 0 {
+		recall = float64(found) / float64(len(include))
+	} else {
+		recall = 1
+	}
+	for it := range reported {
+		if !include[it] && !grayzone[it] {
+			falsePos++
+		}
+	}
+	return recall, falsePos, worstFreqErr
+}
+
+// e7F1HeavyHitters validates Theorem 6 for both backends.
+func e7F1HeavyHitters() Experiment {
+	return Experiment{
+		ID:    "E7",
+		Title: "F₁ heavy hitters from L (Theorem 6)",
+		Claim: "Thm 6: recall=1, no item below (1-eps)alpha*F1, (1±eps) freqs",
+		Run: func(cfg Config) []*stats.Table {
+			r := cfg.rng()
+			n := cfg.scaledN(300000)
+			const alpha, eps = 0.02, 0.2
+			wl := workload.PlantedHH(n, 6, int(alpha*float64(n)*1.5), n/4, r.Uint64())
+			f := stream.NewFreq(wl.Stream)
+			include, gray := hhTruth(f, 1, alpha, eps)
+			trials := cfg.trials(7)
+
+			var tables []*stats.Table
+			for _, backend := range []struct {
+				name string
+				b    core.F1Backend
+			}{{"CountMin", core.F1CountMin}, {"MisraGries", core.F1MisraGries}} {
+				t := stats.NewTable("E7: "+wl.Name+" backend="+backend.name,
+					"p", "premise F1≥", "recall", "false pos", "worst freq err", "thm holds")
+				for _, p := range []float64{0.5, 0.2, 0.1, 0.05} {
+					var rec, fe stats.Summary
+					fp := 0
+					var premise float64
+					for tr := 0; tr < trials; tr++ {
+						hh := core.NewF1HeavyHitters(core.F1HHConfig{
+							P: p, Alpha: alpha, Epsilon: eps, Backend: backend.b,
+						}, r.Split())
+						runSampled(wl.Stream, p, r.Split(), hh)
+						premise = hh.MinStreamLength(uint64(n), 0.05)
+						recall, falsePos, freqErr := hhScore(hh.Report(), f, include, gray)
+						rec.Add(recall)
+						fe.Add(freqErr)
+						fp += falsePos
+					}
+					ok := rec.Min() == 1 && fp == 0 && fe.Max() <= eps
+					t.AddRow(p, premise, rec.Mean(), fp, fe.Max(),
+						verdict(ok || float64(n) < premise))
+				}
+				t.AddNote("%d planted hitters at %.1f%% each; trials=%d", 6, alpha*150, trials)
+				tables = append(tables, t)
+			}
+			return tables
+		},
+	}
+}
+
+// e8F2HeavyHitters validates Theorem 7.
+func e8F2HeavyHitters() Experiment {
+	return Experiment{
+		ID:    "E8",
+		Title: "F₂ heavy hitters from L (Theorem 7)",
+		Claim: "Thm 7: CountSketch on L with alpha' = (1-2eps/5)alpha*sqrt(p)",
+		Run: func(cfg Config) []*stats.Table {
+			r := cfg.rng()
+			n := cfg.scaledN(200000)
+			const alpha, eps = 0.25, 0.2
+			wl := workload.PlantedHH(n, 3, n/15, n, r.Uint64())
+			f := stream.NewFreq(wl.Stream)
+			include, _ := hhTruth(f, 2, alpha, eps)
+			trials := cfg.trials(7)
+
+			t := stats.NewTable("E8: "+wl.Name,
+				"p", "exclusion (1-ε)√p·α√F₂", "recall", "false pos", "worst freq err", "thm holds")
+			sqrtF2 := math.Sqrt(f.Fk(2))
+			for _, p := range []float64{0.5, 0.2, 0.1} {
+				// Theorem 7's exclusion line scales with √p.
+				exclusion := (1 - eps) * math.Sqrt(p) * alpha * sqrtF2
+				gray := make(map[uint64]bool)
+				for it, c := range f {
+					if !include[uint64(it)] && float64(c) >= exclusion {
+						gray[uint64(it)] = true
+					}
+				}
+				var rec, fe stats.Summary
+				fp := 0
+				for tr := 0; tr < trials; tr++ {
+					hh := core.NewF2HeavyHitters(core.F2HHConfig{P: p, Alpha: alpha, Epsilon: eps}, r.Split())
+					runSampled(wl.Stream, p, r.Split(), hh)
+					recall, falsePos, freqErr := hhScore(hh.Report(), f, include, gray)
+					rec.Add(recall)
+					fe.Add(freqErr)
+					fp += falsePos
+				}
+				ok := rec.Min() == 1 && fp == 0
+				t.AddRow(p, exclusion, rec.Mean(), fp, fe.Max(), verdict(ok))
+			}
+			t.AddNote("3 planted F₂-heavy items; trials=%d", trials)
+			return []*stats.Table{t}
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package levelset
+
+import (
+	"substream/internal/stream"
+)
+
+// ExactCounter counts collisions exactly by maintaining the full
+// frequency vector of the observed stream. Space is O(distinct items);
+// it is the unlimited-space reference the level-set estimator is judged
+// against, and the backend of choice when the sampled stream's support is
+// known to be small.
+type ExactCounter struct {
+	counts stream.Freq
+	n      uint64
+}
+
+// NewExactCounter returns an empty exact collision counter.
+func NewExactCounter() *ExactCounter {
+	return &ExactCounter{counts: make(stream.Freq)}
+}
+
+// Observe feeds one element of the sampled stream.
+func (c *ExactCounter) Observe(it stream.Item) {
+	c.counts[it]++
+	c.n++
+}
+
+// EstimateCollisions returns the exact C_ℓ of the observed stream.
+func (c *ExactCounter) EstimateCollisions(l int) float64 {
+	return c.counts.Collisions(l)
+}
+
+// N returns the number of observed elements (F1 of L).
+func (c *ExactCounter) N() uint64 { return c.n }
+
+// Freq exposes the exact frequency vector (for tests and the plugin
+// entropy path). Callers must not mutate it.
+func (c *ExactCounter) Freq() stream.Freq { return c.counts }
+
+// SpaceBytes returns the approximate memory footprint.
+func (c *ExactCounter) SpaceBytes() int { return 16 * len(c.counts) }
+
+// CollisionCounter is the estimator-facing abstraction Algorithm 1
+// consumes: something that observes the sampled stream and can produce an
+// estimate of C_ℓ(L) for each ℓ. Both ExactCounter and Estimator satisfy
+// it; the space/accuracy tradeoff is the caller's choice.
+type CollisionCounter interface {
+	Observe(it stream.Item)
+	EstimateCollisions(l int) float64
+	SpaceBytes() int
+}
+
+var (
+	_ CollisionCounter = (*ExactCounter)(nil)
+	_ CollisionCounter = (*Estimator)(nil)
+)

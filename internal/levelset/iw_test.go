@@ -1,0 +1,155 @@
+package levelset
+
+import (
+	"math"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func feedIW(e *IWEstimator, s stream.Slice) {
+	for _, it := range s {
+		e.Observe(it)
+	}
+}
+
+func TestIWCollisionsOnSkewedStream(t *testing.T) {
+	// Skewed stream: C2 dominated by frequent items, which level 0's
+	// CountSketch recovers directly. The estimate should land within a
+	// modest factor of truth.
+	s := zipfStream(200000, 20000, 1.3, 1)
+	exact := stream.NewFreq(s).Collisions(2)
+	e := NewIW(IWConfig{EpsPrime: 0.05, Width: 2048, Depth: 5}, rng.New(2))
+	feedIW(e, s)
+	got := e.EstimateCollisions(2)
+	if got < exact/3 || got > exact*3 {
+		t.Fatalf("IW C2 = %v, exact %v", got, exact)
+	}
+}
+
+func TestIWHeadRecoveredAccurately(t *testing.T) {
+	// Heavy planted items carry nearly all collisions; the IW estimate
+	// of C3 should track them within band-discretization error.
+	var s stream.Slice
+	for i := 0; i < 5000; i++ {
+		s = append(s, 1)
+	}
+	for i := 0; i < 3000; i++ {
+		s = append(s, 2)
+	}
+	for i := 1; i <= 20000; i++ {
+		s = append(s, stream.Item(i+10))
+	}
+	rng.New(3).Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	exact := stream.NewFreq(s).Collisions(3)
+	e := NewIW(IWConfig{EpsPrime: 0.05, Width: 1024, Depth: 5}, rng.New(4))
+	feedIW(e, s)
+	got := e.EstimateCollisions(3)
+	if rel := math.Abs(got-exact) / exact; rel > 0.3 {
+		t.Fatalf("IW C3 = %v, exact %v (rel %v)", got, exact, rel)
+	}
+}
+
+func TestIWNoGrossOverestimateOnDistinct(t *testing.T) {
+	// All-singleton stream: C2 = 0. Candidates all have frequency 1,
+	// below every level's recovery threshold once enough mass arrives,
+	// and C(rep, 2) clamps for rep ≤ 1 — the estimate must stay ≈ 0
+	// relative to the trivial bound n²/2.
+	var s stream.Slice
+	for i := 1; i <= 50000; i++ {
+		s = append(s, stream.Item(i))
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		e := NewIW(IWConfig{EpsPrime: 0.1, Width: 512, Depth: 5}, rng.New(seed))
+		feedIW(e, s)
+		if got := e.EstimateCollisions(2); got > float64(len(s)) {
+			t.Fatalf("seed %d: C2 estimate %v on collision-free stream", seed, got)
+		}
+	}
+}
+
+func TestIWBandsSortedAndPositive(t *testing.T) {
+	s := zipfStream(50000, 500, 1.1, 5)
+	e := NewIW(IWConfig{EpsPrime: 0.1}, rng.New(6))
+	feedIW(e, s)
+	bands := e.Bands()
+	if len(bands) == 0 {
+		t.Fatal("no bands recovered")
+	}
+	for i, b := range bands {
+		if b.Size <= 0 || b.Rep <= 0 {
+			t.Fatalf("degenerate band %+v", b)
+		}
+		if i > 0 && bands[i].Band <= bands[i-1].Band {
+			t.Fatalf("bands not sorted")
+		}
+	}
+}
+
+func TestIWEmpty(t *testing.T) {
+	e := NewIW(IWConfig{EpsPrime: 0.1}, rng.New(7))
+	if got := e.EstimateCollisions(2); got != 0 {
+		t.Fatalf("empty estimate %v", got)
+	}
+	if e.Bands() != nil {
+		t.Fatal("empty Bands not nil")
+	}
+}
+
+func TestIWSpaceIndependentOfStreamLength(t *testing.T) {
+	e := NewIW(IWConfig{EpsPrime: 0.1, Width: 256, Depth: 3, Candidates: 64, Levels: 8}, rng.New(8))
+	before := 0
+	for i := 1; i <= 200000; i++ {
+		e.Observe(stream.Item(i%77777 + 1))
+		if i == 1000 {
+			before = e.SpaceBytes()
+		}
+	}
+	after := e.SpaceBytes()
+	// Candidate trackers saturate; only slack from TopK fill remains.
+	if float64(after) > 1.5*float64(before) {
+		t.Fatalf("IW space grew %d → %d", before, after)
+	}
+}
+
+func TestIWPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("NewIW(EpsPrime=0) did not panic")
+			}
+		}()
+		NewIW(IWConfig{}, rng.New(1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("EstimateCollisions(0) did not panic")
+			}
+		}()
+		e := NewIW(IWConfig{EpsPrime: 0.1}, rng.New(1))
+		e.EstimateCollisions(0)
+	}()
+}
+
+func TestIWInsideAlgorithm1(t *testing.T) {
+	// The IW backend must be pluggable into the Fk pipeline: estimate
+	// C2(L) on a sampled stream and verify the implied F2 lands in a
+	// sane range. (Full Algorithm 1 wiring is exercised in core's tests;
+	// here we check the CollisionCounter contract end to end.)
+	s := zipfStream(100000, 5000, 1.25, 9)
+	g := stream.NewFreq(s)
+	exactC2 := g.Collisions(2)
+	var counter CollisionCounter = NewIW(IWConfig{EpsPrime: 0.05, Width: 2048}, rng.New(10))
+	for _, it := range s {
+		counter.Observe(it)
+	}
+	got := counter.EstimateCollisions(2)
+	if got < exactC2/3 || got > exactC2*3 {
+		t.Fatalf("IW via interface: C2 %v, exact %v", got, exactC2)
+	}
+	if counter.SpaceBytes() <= 0 {
+		t.Fatal("space not positive")
+	}
+}

@@ -1,0 +1,256 @@
+package levelset
+
+import (
+	"math"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func zipfStream(n, m int, s float64, seed uint64) stream.Slice {
+	r := rng.New(seed)
+	z := rng.NewZipf(m, s)
+	out := make(stream.Slice, n)
+	for i := range out {
+		out[i] = stream.Item(z.Draw(r))
+	}
+	return out
+}
+
+func feed(e *Estimator, s stream.Slice) {
+	for _, it := range s {
+		e.Observe(it)
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	c := NewExactCounter()
+	for _, it := range (stream.Slice{1, 1, 1, 2, 2, 3}) {
+		c.Observe(it)
+	}
+	if c.N() != 6 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.EstimateCollisions(2); got != 3+1 {
+		t.Fatalf("C2 = %v, want 4", got)
+	}
+	if got := c.EstimateCollisions(3); got != 1 {
+		t.Fatalf("C3 = %v, want 1", got)
+	}
+	if c.SpaceBytes() != 16*3 {
+		t.Fatalf("SpaceBytes = %d", c.SpaceBytes())
+	}
+}
+
+func TestEstimatorExactModeWhenBudgetLarge(t *testing.T) {
+	// With budget ≥ distinct items, T stays 0 and counts are exact, so
+	// the direct estimate equals the exact C_ℓ.
+	s := zipfStream(20000, 500, 1.1, 1)
+	f := stream.NewFreq(s)
+	e := New(Config{EpsPrime: 0.1, Budget: 10000, Reps: 3}, rng.New(2))
+	feed(e, s)
+	for _, lvl := range e.ThresholdLevels() {
+		if lvl != 0 {
+			t.Fatalf("threshold raised with ample budget: %v", e.ThresholdLevels())
+		}
+	}
+	for l := 2; l <= 4; l++ {
+		exact := f.Collisions(l)
+		direct := e.DirectEstimateCollisions(l)
+		if math.Abs(direct-exact) > 1e-6*exact {
+			t.Fatalf("direct C%d = %v, exact %v", l, direct, exact)
+		}
+	}
+}
+
+func TestEstimatorBandedWithinEpsOfExactInExactMode(t *testing.T) {
+	// In exact mode the only error in the banded estimate is band
+	// discretization: representative ∈ (g/(1+ε'), g], so
+	// C̃_ℓ ∈ [C_ℓ/(1+ε')^ℓ, C_ℓ] approximately.
+	s := zipfStream(30000, 300, 1.2, 3)
+	f := stream.NewFreq(s)
+	const epsPrime = 0.05
+	e := New(Config{EpsPrime: epsPrime, Budget: 10000, Reps: 3}, rng.New(4))
+	feed(e, s)
+	for l := 2; l <= 4; l++ {
+		exact := f.Collisions(l)
+		banded := e.EstimateCollisions(l)
+		if banded > exact*1.0001 {
+			t.Fatalf("banded C%d = %v exceeds exact %v", l, banded, exact)
+		}
+		// Allow the full discretization factor plus slack for items near
+		// band edges with small frequencies.
+		floor := exact / math.Pow(1+epsPrime, float64(l)+2)
+		if banded < floor*0.5 {
+			t.Fatalf("banded C%d = %v too far below exact %v (floor %v)", l, banded, exact, floor)
+		}
+	}
+}
+
+func TestEstimatorUnderBudgetPressure(t *testing.T) {
+	// Budget forces subsampling; the direct estimate should still land
+	// within a reasonable factor of the truth for C2 on a collision-rich
+	// stream.
+	s := zipfStream(200000, 20000, 1.3, 5)
+	f := stream.NewFreq(s)
+	exact := f.Collisions(2)
+	e := New(Config{EpsPrime: 0.1, Budget: 2000, Reps: 5}, rng.New(6))
+	feed(e, s)
+	raised := false
+	for _, lvl := range e.ThresholdLevels() {
+		if lvl > 0 {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Fatal("budget pressure did not raise any threshold (test not exercising eviction)")
+	}
+	direct := e.DirectEstimateCollisions(2)
+	if direct < exact/3 || direct > exact*3 {
+		t.Fatalf("direct C2 under pressure = %v, exact %v", direct, exact)
+	}
+}
+
+func TestEstimatorMedianUnbiasedUnderSampling(t *testing.T) {
+	// Average the direct estimate across seeds; should approach truth.
+	s := zipfStream(50000, 5000, 1.2, 7)
+	exact := stream.NewFreq(s).Collisions(2)
+	const trials = 30
+	var sum float64
+	r := rng.New(8)
+	for tr := 0; tr < trials; tr++ {
+		e := New(Config{EpsPrime: 0.1, Budget: 1000, Reps: 5}, r.Split())
+		feed(e, s)
+		sum += e.DirectEstimateCollisions(2)
+	}
+	mean := sum / trials
+	if math.Abs(mean-exact)/exact > 0.25 {
+		t.Fatalf("mean direct C2 = %v, exact %v", mean, exact)
+	}
+}
+
+func TestEstimatorNoGrossOverestimate(t *testing.T) {
+	// Theorem 2's property: the estimate never grossly overestimates,
+	// even for streams with almost no collisions. With all-distinct
+	// input, C2 = 0 and the estimate must be 0 or tiny.
+	var s stream.Slice
+	for i := 1; i <= 100000; i++ {
+		s = append(s, stream.Item(i))
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		e := New(Config{EpsPrime: 0.1, Budget: 500, Reps: 5}, rng.New(seed))
+		feed(e, s)
+		if got := e.EstimateCollisions(2); got != 0 {
+			t.Fatalf("seed %d: C2 estimate %v on collision-free stream", seed, got)
+		}
+	}
+}
+
+func TestBandsSorted(t *testing.T) {
+	s := zipfStream(30000, 100, 1.0, 9)
+	e := New(Config{EpsPrime: 0.2, Budget: 10000, Reps: 3}, rng.New(10))
+	feed(e, s)
+	bands := e.Bands()
+	if len(bands) == 0 {
+		t.Fatal("no bands")
+	}
+	for i := 1; i < len(bands); i++ {
+		if bands[i].Band <= bands[i-1].Band {
+			t.Fatalf("bands not sorted: %+v", bands)
+		}
+	}
+	for _, b := range bands {
+		if b.Size <= 0 || b.Rep <= 0 {
+			t.Fatalf("degenerate band %+v", b)
+		}
+	}
+	// Σ s̃_i should approximate the distinct count in exact mode.
+	var total float64
+	for _, b := range bands {
+		total += b.Size
+	}
+	d := float64(stream.NewFreq(s).F0())
+	if math.Abs(total-d) > 1e-9 {
+		t.Fatalf("band sizes sum to %v, distinct = %v", total, d)
+	}
+}
+
+func TestBandRepresentativeBelowFrequency(t *testing.T) {
+	// Every tracked item's representative must not exceed its frequency:
+	// rep = η(1+ε')^i ≤ g for the band containing g.
+	e := New(Config{EpsPrime: 0.3, Budget: 100, Reps: 1}, rng.New(11))
+	for g := float64(1); g <= 1000; g *= 3 {
+		band := e.bandOf(g)
+		rep := e.repValue(band)
+		if rep > float64(g)*1.0000001 {
+			t.Fatalf("g=%v: rep %v exceeds frequency", g, rep)
+		}
+		if float64(g) >= rep*(1+e.epsPrime)*(1+1e-9) {
+			t.Fatalf("g=%v: band upper edge violated (rep %v)", g, rep)
+		}
+	}
+}
+
+func TestEstimatorSpaceBounded(t *testing.T) {
+	const budget = 500
+	e := New(Config{EpsPrime: 0.1, Budget: budget, Reps: 3}, rng.New(12))
+	for i := 1; i <= 300000; i++ {
+		e.Observe(stream.Item(i))
+	}
+	// Heavy summary (48B/counter) + 3 light reps (32B/entry) + slack.
+	if e.SpaceBytes() > 48*budget+3*(32*budget+64)+1 {
+		t.Fatalf("space %d exceeds budget-implied bound", e.SpaceBytes())
+	}
+}
+
+func TestEstimatorPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(Config{EpsPrime: 0, Budget: 10}, rng.New(1)) },
+		func() { New(Config{EpsPrime: 0.1, Budget: 0}, rng.New(1)) },
+		func() {
+			e := New(Config{EpsPrime: 0.1, Budget: 10}, rng.New(1))
+			e.EstimateCollisions(0)
+		},
+		func() {
+			e := New(Config{EpsPrime: 0.1, Budget: 10}, rng.New(1))
+			e.DirectEstimateCollisions(0)
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEstimatorDefaultReps(t *testing.T) {
+	e := New(Config{EpsPrime: 0.1, Budget: 10}, rng.New(1))
+	if len(e.ThresholdLevels()) != 5 {
+		t.Fatalf("default reps = %d, want 5", len(e.ThresholdLevels()))
+	}
+}
+
+func BenchmarkLevelSetObserve(b *testing.B) {
+	e := New(Config{EpsPrime: 0.1, Budget: 4096, Reps: 5}, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		e.Observe(stream.Item(i%100000 + 1))
+	}
+}
+
+func BenchmarkLevelSetEstimate(b *testing.B) {
+	e := New(Config{EpsPrime: 0.1, Budget: 4096, Reps: 5}, rng.New(1))
+	s := zipfStream(100000, 10000, 1.1, 2)
+	feed(e, s)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += e.EstimateCollisions(2)
+	}
+	_ = sink
+}

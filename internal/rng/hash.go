@@ -1,0 +1,154 @@
+package rng
+
+// This file implements the hash families the sketches rely on.
+//
+// CountMin needs pairwise-independent row hashes; CountSketch needs
+// pairwise-independent bucket hashes plus 4-wise-independent sign hashes;
+// the AMS tug-of-war sketch needs 4-wise-independent signs; the level-set
+// estimator needs a pairwise-independent map to (0,1] for geometric
+// universe sampling. All are provided by two families:
+//
+//   - multiply–shift (Dietzfelbinger et al.): 2-universal, extremely fast,
+//     used where plain universality suffices (bucket selection);
+//   - degree-(k−1) polynomials over the Mersenne prime field GF(2^61−1):
+//     exactly k-wise independent, used where the analysis needs it.
+
+// mersenne61 is the Mersenne prime 2^61 − 1, the field modulus for the
+// polynomial hash family.
+const mersenne61 = (1 << 61) - 1
+
+// mulmod61 returns a*b mod 2^61−1 without overflow, exploiting the
+// Mersenne structure: for x = hi·2^61 + lo, x ≡ hi + lo (mod 2^61−1).
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := mul64(a, b)
+	// lo61 holds the low 61 bits; the remaining 67 bits are hi·8 + lo>>61.
+	lo61 := lo & mersenne61
+	rest := hi<<3 | lo>>61
+	s := lo61 + rest
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// addmod61 returns a+b mod 2^61−1 for a, b < 2^61−1.
+func addmod61(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// PolyHash is a k-wise-independent hash function h: uint64 → [0, 2^61−1),
+// implemented as a random polynomial of degree k−1 over GF(2^61−1).
+type PolyHash struct {
+	coef []uint64 // coef[0] + coef[1]·x + … evaluated by Horner's rule
+}
+
+// NewPolyHash draws a fresh k-wise-independent hash function using r for
+// its coefficients. It panics if k < 1.
+func NewPolyHash(k int, r *Xoshiro256) *PolyHash {
+	if k < 1 {
+		panic("rng: NewPolyHash requires k >= 1")
+	}
+	coef := make([]uint64, k)
+	for i := range coef {
+		coef[i] = r.Uint64n(mersenne61)
+	}
+	// A zero leading coefficient only reduces the effective degree for a
+	// negligible fraction of draws; the family stays k-wise independent,
+	// so no correction is needed.
+	return &PolyHash{coef: coef}
+}
+
+// Coefficients returns a copy of the polynomial's coefficients, low
+// degree first. Together with NewPolyHashFromCoefficients it lets
+// serialized sketches reconstruct their exact hash functions.
+func (h *PolyHash) Coefficients() []uint64 {
+	out := make([]uint64, len(h.coef))
+	copy(out, h.coef)
+	return out
+}
+
+// NewPolyHashFromCoefficients reconstructs a hash function from
+// previously extracted coefficients. It panics on an empty slice or a
+// coefficient outside the field.
+func NewPolyHashFromCoefficients(coef []uint64) *PolyHash {
+	if len(coef) == 0 {
+		panic("rng: NewPolyHashFromCoefficients requires coefficients")
+	}
+	cp := make([]uint64, len(coef))
+	for i, c := range coef {
+		if c >= mersenne61 {
+			panic("rng: coefficient outside GF(2^61-1)")
+		}
+		cp[i] = c
+	}
+	return &PolyHash{coef: cp}
+}
+
+// Hash evaluates the polynomial at x mod 2^61−1 by Horner's rule.
+func (h *PolyHash) Hash(x uint64) uint64 {
+	// Reduce x into the field first.
+	x = x % mersenne61
+	acc := h.coef[len(h.coef)-1]
+	for i := len(h.coef) - 2; i >= 0; i-- {
+		acc = addmod61(mulmod61(acc, x), h.coef[i])
+	}
+	return acc
+}
+
+// Bucket maps x to [0, buckets) with k-wise independence (up to the
+// negligible non-uniformity of reducing a 61-bit value mod buckets).
+func (h *PolyHash) Bucket(x uint64, buckets int) int {
+	return int(h.Hash(x) % uint64(buckets))
+}
+
+// Sign maps x to ±1 with the independence of the underlying family;
+// constructed from the hash's low bit.
+func (h *PolyHash) Sign(x uint64) int {
+	if h.Hash(x)&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Unit maps x to a value in (0, 1], k-wise independently. It is the map
+// used to drive geometric universe sampling: Pr[Unit(x) ≤ q] ≈ q.
+func (h *PolyHash) Unit(x uint64) float64 {
+	return (float64(h.Hash(x)) + 1) / float64(mersenne61)
+}
+
+// MultShift is a 2-universal multiply–shift hash for 64-bit keys:
+// h(x) = (a·x + b) >> (64 − outBits), with odd a. It is the fastest hash in
+// the package and is used for bucket selection where pairwise universality
+// is all the analysis requires.
+type MultShift struct {
+	a, b    uint64
+	outBits uint
+}
+
+// NewMultShift draws a multiply–shift function producing outBits-bit
+// outputs, 1 ≤ outBits ≤ 64.
+func NewMultShift(outBits uint, r *Xoshiro256) *MultShift {
+	if outBits < 1 || outBits > 64 {
+		panic("rng: NewMultShift outBits out of range")
+	}
+	return &MultShift{a: r.Uint64() | 1, b: r.Uint64(), outBits: outBits}
+}
+
+// Hash returns the outBits-bit hash of x.
+func (h *MultShift) Hash(x uint64) uint64 {
+	return (h.a*x + h.b) >> (64 - h.outBits)
+}
+
+// Mix64 is a fixed strong bit-mixer (the SplitMix64 finalizer). It is not
+// an independent hash family — use it only for deterministic scrambles
+// such as deriving per-level seeds, never where the analysis needs
+// independence across keys.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,229 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulmod61MatchesBigArithmetic(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= mersenne61
+		b %= mersenne61
+		hi, lo := mul64(a, b)
+		return mulmod61(a, b) == foldMod61(hi, lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// foldMod61 is an independent, slower reduction of hi·2^64 + lo modulo
+// 2^61−1, used to cross-check mulmod61. It uses 2^64 ≡ 8 (mod 2^61−1)
+// and folds lo as (lo >> 61) + (lo & M), since 2^61 ≡ 1.
+func foldMod61(hi, lo uint64) uint64 {
+	loMod := modAdd(lo&mersenne61, lo>>61)
+	hiMod := mulSmallMod(hi%mersenne61, 8)
+	return modAdd(hiMod, loMod)
+}
+
+func modAdd(a, b uint64) uint64 {
+	s := a + b
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// mulSmallMod multiplies a (< M) by a small constant c (≤ 8) mod M.
+func mulSmallMod(a, c uint64) uint64 {
+	var acc uint64
+	for i := uint64(0); i < c; i++ {
+		acc = modAdd(acc, a)
+	}
+	return acc
+}
+
+func TestAddmod61(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{mersenne61 - 1, 1, 0},
+		{mersenne61 - 1, mersenne61 - 1, mersenne61 - 2},
+	}
+	for _, c := range cases {
+		if got := addmod61(c.a, c.b); got != c.want {
+			t.Errorf("addmod61(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPolyHashInRange(t *testing.T) {
+	r := New(1)
+	h := NewPolyHash(4, r)
+	for i := uint64(0); i < 100000; i++ {
+		if v := h.Hash(i); v >= mersenne61 {
+			t.Fatalf("hash(%d) = %d out of field", i, v)
+		}
+	}
+}
+
+func TestPolyHashDeterministic(t *testing.T) {
+	h := NewPolyHash(3, New(99))
+	a, b := h.Hash(12345), h.Hash(12345)
+	if a != b {
+		t.Fatalf("hash not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestPolyHashBucketUniformity(t *testing.T) {
+	r := New(2)
+	h := NewPolyHash(2, r)
+	const buckets, n = 16, 320000
+	counts := make([]int, buckets)
+	for i := uint64(0); i < n; i++ {
+		counts[h.Bucket(i, buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof, 99.99% ≈ 44.3. Allow 60.
+	if chi2 > 60 {
+		t.Fatalf("bucket uniformity chi2 = %v", chi2)
+	}
+}
+
+func TestPolyHashPairwiseCollisionRate(t *testing.T) {
+	// Pairwise independence implies collision probability ≈ 1/buckets
+	// over the random choice of hash function.
+	const buckets = 64
+	const funcs = 4000
+	r := New(3)
+	collisions := 0
+	for i := 0; i < funcs; i++ {
+		h := NewPolyHash(2, r)
+		if h.Bucket(17, buckets) == h.Bucket(91, buckets) {
+			collisions++
+		}
+	}
+	got := float64(collisions) / funcs
+	want := 1.0 / buckets
+	tol := 6 * math.Sqrt(want*(1-want)/funcs)
+	if math.Abs(got-want) > tol {
+		t.Fatalf("pairwise collision rate %v, want %v ± %v", got, want, tol)
+	}
+}
+
+func TestPolyHashSignBalance(t *testing.T) {
+	// Over random functions, E[sign(x)] ≈ 0 and signs of two fixed keys
+	// are uncorrelated (4-wise family).
+	const funcs = 4000
+	r := New(4)
+	var sum, prod int
+	for i := 0; i < funcs; i++ {
+		h := NewPolyHash(4, r)
+		s1, s2 := h.Sign(5), h.Sign(1234567)
+		sum += s1
+		prod += s1 * s2
+	}
+	if math.Abs(float64(sum))/funcs > 0.1 {
+		t.Fatalf("sign bias: mean %v", float64(sum)/funcs)
+	}
+	if math.Abs(float64(prod))/funcs > 0.1 {
+		t.Fatalf("sign correlation: mean product %v", float64(prod)/funcs)
+	}
+}
+
+func TestPolyHashUnitRangeAndUniformity(t *testing.T) {
+	h := NewPolyHash(2, New(5))
+	const n = 200000
+	var sum float64
+	for i := uint64(0); i < n; i++ {
+		u := h.Unit(i)
+		if u <= 0 || u > 1 {
+			t.Fatalf("Unit out of (0,1]: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Unit mean %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestNewPolyHashPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPolyHash(0) did not panic")
+		}
+	}()
+	NewPolyHash(0, New(1))
+}
+
+func TestMultShiftRangeAndUniformity(t *testing.T) {
+	r := New(6)
+	h := NewMultShift(4, r) // 16 buckets
+	const n = 320000
+	counts := make([]int, 16)
+	for i := uint64(0); i < n; i++ {
+		v := h.Hash(i)
+		if v >= 16 {
+			t.Fatalf("MultShift output %d exceeds 4 bits", v)
+		}
+		counts[v]++
+	}
+	expected := float64(n) / 16
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 60 {
+		t.Fatalf("MultShift uniformity chi2 = %v (counts %v)", chi2, counts)
+	}
+}
+
+func TestMultShiftPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMultShift(%d) did not panic", bits)
+				}
+			}()
+			NewMultShift(bits, New(1))
+		}()
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 must not collide on a modest sample (it is a bijection).
+	seen := make(map[uint64]uint64, 100000)
+	for i := uint64(0); i < 100000; i++ {
+		v := Mix64(i)
+		if prev, ok := seen[v]; ok {
+			t.Fatalf("Mix64 collision: %d and %d both map to %#x", prev, i, v)
+		}
+		seen[v] = i
+	}
+}
+
+func BenchmarkPolyHash4Wise(b *testing.B) {
+	h := NewPolyHash(4, New(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMultShift(b *testing.B) {
+	h := NewMultShift(20, New(1))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,323 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 0 from the canonical C implementation.
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("output %d: got %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs of 1000", same)
+	}
+}
+
+func TestXoshiroZeroSeedNotStuck(t *testing.T) {
+	x := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[x.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed-0 generator produced only %d distinct values of 100", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(7)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	x := New(7)
+	for i := 0; i < 100000; i++ {
+		f := x.Float64Open()
+		if f <= 0 || f > 1 {
+			t.Fatalf("Float64Open out of (0,1]: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	x := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += x.Float64()
+	}
+	mean := sum / n
+	// Std error is 1/sqrt(12n) ≈ 0.00065; allow 6 sigma.
+	if math.Abs(mean-0.5) > 0.004 {
+		t.Fatalf("Float64 mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	x := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		for i := 0; i < 1000; i++ {
+			v := x.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-squared uniformity check over 8 buckets.
+	x := New(5)
+	const buckets, n = 8, 800000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[x.Uint64n(buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 7 degrees of freedom; 99.99% quantile ≈ 29. Use 40 for slack.
+	if chi2 > 40 {
+		t.Fatalf("Uint64n uniformity chi2 = %v (counts %v)", chi2, counts)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	x := New(9)
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
+		const n = 400000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if x.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		tol := 6 * math.Sqrt(p*(1-p)/n)
+		if math.Abs(got-p) > tol {
+			t.Fatalf("Bernoulli(%v) rate = %v, tolerance %v", p, got, tol)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	x := New(1)
+	for i := 0; i < 100; i++ {
+		if x.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !x.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if x.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !x.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	x := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := x.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential variate negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈ 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	x := New(19)
+	for _, n := range []int{0, 1, 2, 10, 1000} {
+		p := x.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	x := New(23)
+	const n, trials = 5, 100000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[x.Perm(n)[0]]++
+	}
+	expected := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("Perm first-element bias at %d: %v", i, counts)
+		}
+	}
+}
+
+func TestShuffleMatchesPermDistribution(t *testing.T) {
+	x := New(29)
+	const trials = 60000
+	counts := map[[3]int]int{}
+	for i := 0; i < trials; i++ {
+		a := [3]int{0, 1, 2}
+		x.Shuffle(3, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("Shuffle produced %d of 6 permutations", len(counts))
+	}
+	expected := float64(trials) / 6
+	for perm, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("Shuffle bias: perm %v count %d, expected %v", perm, c, expected)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(31)
+	child := parent.Split()
+	// Child and parent streams should not collide element-wise.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split generator matched parent %d times", same)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	// Property: mul64 matches 128-bit multiplication decomposed manually.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via the identity on the low 64 bits and a second
+		// decomposition for the high bits.
+		if lo != a*b {
+			return false
+		}
+		wantHi, _ := mulParts(a, b)
+		return hi == wantHi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mulParts is an independent reimplementation of the 128-bit product used
+// to cross-check mul64.
+func mulParts(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	ll := al * bl
+	lh := al * bh
+	hl := ah * bl
+	hh := ah * bh
+	mid := lh + (ll >> 32) + hl&mask
+	_ = mid
+	carry := ((ll >> 32) + (lh & mask) + (hl & mask)) >> 32
+	hi = hh + (lh >> 32) + (hl >> 32) + carry
+	lo = a * b
+	return
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiroFloat64(b *testing.B) {
+	x := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += x.Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,185 @@
+package sample
+
+import (
+	"container/heap"
+	"math"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// This file implements the reservoir-family samplers from the paper's
+// related-work section: Vitter's algorithm R, a skip-based variant in the
+// spirit of algorithm Z, and the weighted reservoir sampler of
+// Efraimidis–Spirakis. They are not inputs to the paper's estimators —
+// those require Bernoulli samples — but serve as comparison substrates in
+// the experiment harness.
+
+// Reservoir maintains a uniform random sample of k items from a stream of
+// unknown length (Vitter's algorithm R).
+type Reservoir struct {
+	k     int
+	seen  int
+	items []stream.Item
+	r     *rng.Xoshiro256
+}
+
+// NewReservoir returns a k-item reservoir sampler drawing randomness from
+// r. It panics if k < 1.
+func NewReservoir(k int, r *rng.Xoshiro256) *Reservoir {
+	if k < 1 {
+		panic("sample: reservoir size must be >= 1")
+	}
+	return &Reservoir{k: k, items: make([]stream.Item, 0, k), r: r}
+}
+
+// Observe feeds one item.
+func (rs *Reservoir) Observe(it stream.Item) {
+	rs.seen++
+	if len(rs.items) < rs.k {
+		rs.items = append(rs.items, it)
+		return
+	}
+	if j := rs.r.Intn(rs.seen); j < rs.k {
+		rs.items[j] = it
+	}
+}
+
+// Sample returns the current reservoir contents (at most k items). The
+// returned slice is a copy.
+func (rs *Reservoir) Sample() []stream.Item {
+	out := make([]stream.Item, len(rs.items))
+	copy(out, rs.items)
+	return out
+}
+
+// Seen returns how many items have been observed.
+func (rs *Reservoir) Seen() int { return rs.seen }
+
+// SkipReservoir is a skip-based uniform reservoir sampler: instead of one
+// coin flip per element it draws the number of elements to skip until the
+// next replacement, so the per-element cost after the reservoir fills is
+// O(1) amortized with O(k(1+log(n/k))) random draws total. The sampling
+// distribution is identical to algorithm R.
+type SkipReservoir struct {
+	k     int
+	seen  int
+	skip  int // elements to pass over before the next replacement
+	items []stream.Item
+	r     *rng.Xoshiro256
+	w     float64 // running weight, per Vitter's algorithm L
+}
+
+// NewSkipReservoir returns a skip-based k-item reservoir sampler.
+func NewSkipReservoir(k int, r *rng.Xoshiro256) *SkipReservoir {
+	if k < 1 {
+		panic("sample: reservoir size must be >= 1")
+	}
+	return &SkipReservoir{k: k, items: make([]stream.Item, 0, k), r: r, w: 1}
+}
+
+// Observe feeds one item.
+func (rs *SkipReservoir) Observe(it stream.Item) {
+	rs.seen++
+	if len(rs.items) < rs.k {
+		rs.items = append(rs.items, it)
+		if len(rs.items) == rs.k {
+			rs.advance()
+		}
+		return
+	}
+	if rs.skip > 0 {
+		rs.skip--
+		return
+	}
+	rs.items[rs.r.Intn(rs.k)] = it
+	rs.advance()
+}
+
+// advance draws the gap to the next accepted element (algorithm L).
+func (rs *SkipReservoir) advance() {
+	rs.w *= math.Exp(math.Log(rs.r.Float64Open()) / float64(rs.k))
+	rs.skip = int(math.Floor(math.Log(rs.r.Float64Open())/math.Log1p(-rs.w))) + 1
+	if rs.skip < 0 { // overflow guard for astronomically long skips
+		rs.skip = math.MaxInt32
+	}
+	// skip counts elements passed over; the element after them replaces.
+	rs.skip--
+	if rs.skip < 0 {
+		rs.skip = 0
+	}
+}
+
+// Sample returns a copy of the current reservoir contents.
+func (rs *SkipReservoir) Sample() []stream.Item {
+	out := make([]stream.Item, len(rs.items))
+	copy(out, rs.items)
+	return out
+}
+
+// Seen returns how many items have been observed.
+func (rs *SkipReservoir) Seen() int { return rs.seen }
+
+// WeightedReservoir is the Efraimidis–Spirakis weighted sampler: each
+// item with weight w receives key u^(1/w) for u ~ U(0,1], and the k
+// largest keys are kept. Inclusion probabilities are proportional to
+// weights in the without-replacement sense.
+type WeightedReservoir struct {
+	k    int
+	heap wrHeap
+	r    *rng.Xoshiro256
+}
+
+type wrEntry struct {
+	item stream.Item
+	key  float64
+}
+
+// wrHeap is a min-heap on key, so the root is the eviction candidate.
+type wrHeap []wrEntry
+
+func (h wrHeap) Len() int            { return len(h) }
+func (h wrHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h wrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wrHeap) Push(x interface{}) { *h = append(*h, x.(wrEntry)) }
+func (h *wrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewWeightedReservoir returns a k-item weighted reservoir sampler.
+func NewWeightedReservoir(k int, r *rng.Xoshiro256) *WeightedReservoir {
+	if k < 1 {
+		panic("sample: reservoir size must be >= 1")
+	}
+	return &WeightedReservoir{k: k, r: r}
+}
+
+// Observe feeds one item with the given positive weight. Non-positive
+// weights are ignored (they can never be sampled).
+func (ws *WeightedReservoir) Observe(it stream.Item, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	key := math.Pow(ws.r.Float64Open(), 1/weight)
+	if ws.heap.Len() < ws.k {
+		heap.Push(&ws.heap, wrEntry{item: it, key: key})
+		return
+	}
+	if key > ws.heap[0].key {
+		ws.heap[0] = wrEntry{item: it, key: key}
+		heap.Fix(&ws.heap, 0)
+	}
+}
+
+// Sample returns the sampled items (at most k), in no particular order.
+func (ws *WeightedReservoir) Sample() []stream.Item {
+	out := make([]stream.Item, 0, ws.heap.Len())
+	for _, e := range ws.heap {
+		out = append(out, e.item)
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func TestReservoirFill(t *testing.T) {
+	rs := NewReservoir(10, rng.New(1))
+	for i := 1; i <= 5; i++ {
+		rs.Observe(stream.Item(i))
+	}
+	got := rs.Sample()
+	if len(got) != 5 {
+		t.Fatalf("reservoir holds %d, want 5", len(got))
+	}
+	if rs.Seen() != 5 {
+		t.Fatalf("Seen = %d", rs.Seen())
+	}
+}
+
+func TestReservoirSize(t *testing.T) {
+	rs := NewReservoir(10, rng.New(2))
+	for i := 1; i <= 1000; i++ {
+		rs.Observe(stream.Item(i))
+	}
+	if got := rs.Sample(); len(got) != 10 {
+		t.Fatalf("reservoir holds %d, want 10", len(got))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of n items must appear in the k-reservoir with probability k/n.
+	const n, k, trials = 20, 5, 40000
+	counts := make([]int, n+1)
+	r := rng.New(3)
+	for tr := 0; tr < trials; tr++ {
+		rs := NewReservoir(k, r.Split())
+		for i := 1; i <= n; i++ {
+			rs.Observe(stream.Item(i))
+		}
+		for _, it := range rs.Sample() {
+			counts[it]++
+		}
+	}
+	want := float64(trials) * k / n
+	tol := 6 * math.Sqrt(want)
+	for i := 1; i <= n; i++ {
+		if math.Abs(float64(counts[i])-want) > tol {
+			t.Fatalf("item %d sampled %d times, want %v ± %v", i, counts[i], want, tol)
+		}
+	}
+}
+
+func TestReservoirPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0) did not panic")
+		}
+	}()
+	NewReservoir(0, rng.New(1))
+}
+
+func TestSkipReservoirUniformity(t *testing.T) {
+	const n, k, trials = 30, 5, 40000
+	counts := make([]int, n+1)
+	r := rng.New(4)
+	for tr := 0; tr < trials; tr++ {
+		rs := NewSkipReservoir(k, r.Split())
+		for i := 1; i <= n; i++ {
+			rs.Observe(stream.Item(i))
+		}
+		sample := rs.Sample()
+		if len(sample) != k {
+			t.Fatalf("skip reservoir holds %d, want %d", len(sample), k)
+		}
+		for _, it := range sample {
+			counts[it]++
+		}
+	}
+	want := float64(trials) * k / n
+	tol := 7 * math.Sqrt(want)
+	for i := 1; i <= n; i++ {
+		if math.Abs(float64(counts[i])-want) > tol {
+			t.Fatalf("item %d sampled %d times, want %v ± %v", i, counts[i], want, tol)
+		}
+	}
+}
+
+func TestSkipReservoirShortStream(t *testing.T) {
+	rs := NewSkipReservoir(10, rng.New(5))
+	rs.Observe(1)
+	rs.Observe(2)
+	if got := rs.Sample(); len(got) != 2 {
+		t.Fatalf("short stream sample size %d", len(got))
+	}
+}
+
+func TestWeightedReservoirBias(t *testing.T) {
+	// Item 1 has weight 9, items 2..10 weight 1 each; a 1-item sample
+	// should pick item 1 with probability 9/18 = 1/2.
+	const trials = 30000
+	r := rng.New(6)
+	hit := 0
+	for tr := 0; tr < trials; tr++ {
+		ws := NewWeightedReservoir(1, r.Split())
+		ws.Observe(1, 9)
+		for i := 2; i <= 10; i++ {
+			ws.Observe(stream.Item(i), 1)
+		}
+		s := ws.Sample()
+		if len(s) != 1 {
+			t.Fatalf("sample size %d", len(s))
+		}
+		if s[0] == 1 {
+			hit++
+		}
+	}
+	got := float64(hit) / trials
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("heavy item sampled at rate %v, want 0.5", got)
+	}
+}
+
+func TestWeightedReservoirIgnoresNonPositive(t *testing.T) {
+	ws := NewWeightedReservoir(5, rng.New(7))
+	ws.Observe(1, 0)
+	ws.Observe(2, -3)
+	if got := ws.Sample(); len(got) != 0 {
+		t.Fatalf("non-positive weights sampled: %v", got)
+	}
+}
+
+func TestOneInN(t *testing.T) {
+	s := make(stream.Slice, 10)
+	for i := range s {
+		s[i] = stream.Item(i + 1)
+	}
+	got := NewOneInN(3).Apply(s)
+	want := stream.Slice{3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("OneInN = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OneInN = %v, want %v", got, want)
+		}
+	}
+	// N=1 keeps everything.
+	if all := NewOneInN(1).Apply(s); len(all) != len(s) {
+		t.Fatalf("OneInN(1) kept %d of %d", len(all), len(s))
+	}
+}
+
+func TestOneInNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOneInN(0) did not panic")
+		}
+	}()
+	NewOneInN(0)
+}
+
+func TestSampleAndHoldCountsExactAfterAdmission(t *testing.T) {
+	// With p=1 the first packet admits the flow, so counts are exact.
+	sh := NewSampleAndHold(1, 0, rng.New(8))
+	s := stream.Slice{1, 1, 2, 1, 2, 3}
+	for _, it := range s {
+		sh.Observe(it)
+	}
+	c := sh.Counts()
+	if c[1] != 3 || c[2] != 2 || c[3] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+	if got := sh.EstimateFreq(1); got != 3 {
+		t.Fatalf("EstimateFreq(1) with p=1 = %v, want 3", got)
+	}
+	if got := sh.EstimateFreq(99); got != 0 {
+		t.Fatalf("EstimateFreq(absent) = %v, want 0", got)
+	}
+}
+
+func TestSampleAndHoldEstimateUnbiasedForLargeFlows(t *testing.T) {
+	// A flow of size 1000 under p=0.05: E[estimate] ≈ 1000 once admitted.
+	const f, p, trials = 1000, 0.05, 3000
+	var sum float64
+	admitted := 0
+	r := rng.New(9)
+	for tr := 0; tr < trials; tr++ {
+		sh := NewSampleAndHold(p, 0, r.Split())
+		for i := 0; i < f; i++ {
+			sh.Observe(42)
+		}
+		if est := sh.EstimateFreq(42); est > 0 {
+			sum += est
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("flow never admitted")
+	}
+	mean := sum / float64(admitted)
+	if math.Abs(mean-f)/f > 0.03 {
+		t.Fatalf("sample-and-hold estimate mean %v, want ≈ %v", mean, f)
+	}
+}
+
+func TestSampleAndHoldCap(t *testing.T) {
+	sh := NewSampleAndHold(1, 2, rng.New(10))
+	for i := 1; i <= 5; i++ {
+		sh.Observe(stream.Item(i))
+	}
+	if len(sh.Counts()) != 2 {
+		t.Fatalf("table size %d, want 2", len(sh.Counts()))
+	}
+	if sh.Dropped() != 3 {
+		t.Fatalf("dropped %d, want 3", sh.Dropped())
+	}
+}
+
+func TestSampleAndHoldPanics(t *testing.T) {
+	for _, p := range []float64{0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSampleAndHold(%v) did not panic", p)
+				}
+			}()
+			NewSampleAndHold(p, 0, rng.New(1))
+		}()
+	}
+}
+
+func TestPrioritySampleExactWhenSmall(t *testing.T) {
+	ps := NewPrioritySample(10, rng.New(11))
+	ps.Observe(1, 5)
+	ps.Observe(2, 7)
+	est := ps.Estimates()
+	if len(est) != 2 {
+		t.Fatalf("estimates: %v", est)
+	}
+	total := ps.EstimateTotal()
+	if total != 12 {
+		t.Fatalf("total = %v, want 12 (exact)", total)
+	}
+}
+
+func TestPrioritySampleUnbiasedTotal(t *testing.T) {
+	// 100 items with weights 1..100; k=20. E[estimate] = 5050.
+	const trials = 4000
+	var sum float64
+	r := rng.New(12)
+	for tr := 0; tr < trials; tr++ {
+		ps := NewPrioritySample(20, r.Split())
+		for i := 1; i <= 100; i++ {
+			ps.Observe(stream.Item(i), float64(i))
+		}
+		sum += ps.EstimateTotal()
+	}
+	mean := sum / trials
+	if math.Abs(mean-5050)/5050 > 0.03 {
+		t.Fatalf("priority sampling total mean %v, want 5050", mean)
+	}
+}
+
+func TestPrioritySampleSubsetSum(t *testing.T) {
+	// Estimate the weight of the even items: true 2+4+…+100 = 2550.
+	const trials = 4000
+	var sum float64
+	r := rng.New(13)
+	for tr := 0; tr < trials; tr++ {
+		ps := NewPrioritySample(25, r.Split())
+		for i := 1; i <= 100; i++ {
+			ps.Observe(stream.Item(i), float64(i))
+		}
+		for _, w := range ps.Estimates() {
+			if w.Item%2 == 0 {
+				sum += w.Weight
+			}
+		}
+	}
+	mean := sum / trials
+	if math.Abs(mean-2550)/2550 > 0.05 {
+		t.Fatalf("subset-sum estimate mean %v, want 2550", mean)
+	}
+}
+
+func TestPrioritySampleIgnoresNonPositive(t *testing.T) {
+	ps := NewPrioritySample(3, rng.New(14))
+	ps.Observe(1, 0)
+	ps.Observe(2, -1)
+	if got := ps.Estimates(); len(got) != 0 {
+		t.Fatalf("non-positive weights retained: %v", got)
+	}
+}

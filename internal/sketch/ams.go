@@ -1,0 +1,72 @@
+package sketch
+
+import (
+	"sort"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// AMS is the original Alon–Matias–Szegedy "tug-of-war" F₂ sketch:
+// groups×perGroup counters z = Σ_i σ(i)·f_i with 4-wise-independent signs
+// σ. Each z² is an unbiased F₂ estimate with variance ≤ 2F₂²; averaging
+// perGroup copies and taking the median over groups gives an (1+ε, δ)
+// estimator for perGroup = O(1/ε²), groups = O(log 1/δ).
+type AMS struct {
+	groups   int
+	perGroup int
+	counters []int64
+	signs    []*rng.PolyHash
+}
+
+// NewAMS builds a tug-of-war sketch with the given shape.
+func NewAMS(groups, perGroup int, r *rng.Xoshiro256) *AMS {
+	if groups < 1 || perGroup < 1 {
+		panic("sketch: AMS groups and perGroup must be >= 1")
+	}
+	total := groups * perGroup
+	a := &AMS{
+		groups:   groups,
+		perGroup: perGroup,
+		counters: make([]int64, total),
+		signs:    make([]*rng.PolyHash, total),
+	}
+	for i := range a.signs {
+		a.signs[i] = rng.NewPolyHash(4, r)
+	}
+	return a
+}
+
+// Add records count occurrences of item.
+func (a *AMS) Add(it stream.Item, count int64) {
+	for i := range a.counters {
+		a.counters[i] += int64(a.signs[i].Sign(uint64(it))) * count
+	}
+}
+
+// Observe records a single occurrence of item.
+func (a *AMS) Observe(it stream.Item) { a.Add(it, 1) }
+
+// F2Estimate returns the median-of-means F₂ estimate.
+func (a *AMS) F2Estimate() float64 {
+	means := make([]float64, a.groups)
+	for g := 0; g < a.groups; g++ {
+		var sum float64
+		for j := 0; j < a.perGroup; j++ {
+			v := float64(a.counters[g*a.perGroup+j])
+			sum += v * v
+		}
+		means[g] = sum / float64(a.perGroup)
+	}
+	sort.Float64s(means)
+	mid := a.groups / 2
+	if a.groups%2 == 1 {
+		return means[mid]
+	}
+	return (means[mid-1] + means[mid]) / 2
+}
+
+// SpaceBytes returns the approximate memory footprint.
+func (a *AMS) SpaceBytes() int {
+	return 8*len(a.counters) + 48*len(a.signs)
+}

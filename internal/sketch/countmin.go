@@ -1,0 +1,103 @@
+// Package sketch implements the streaming summaries the paper's
+// estimators are built from: CountMin (Cormode–Muthukrishnan, used by
+// Theorem 6), CountSketch (Charikar–Chen–Farach-Colton, used by
+// Theorem 7), the AMS tug-of-war F₂ sketch, Misra–Gries frequent items,
+// KMV and stochastic-averaging distinct-count estimators (used by
+// Algorithm 2), a reservoir-position entropy estimator in the style of
+// Chakrabarti–Cormode–McGregor (used by Theorem 5), and a top-k tracker.
+//
+// Every sketch is seeded explicitly from an rng.Xoshiro256 so experiments
+// are reproducible, and every sketch reports its approximate memory
+// footprint so the harness can compare space honestly.
+package sketch
+
+import (
+	"math"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// CountMin is the Cormode–Muthukrishnan CountMin sketch for insert
+// streams. Point queries overestimate by at most ε·N with probability
+// 1−δ when built with width e/ε and depth ln(1/δ), where N is the total
+// count added.
+type CountMin struct {
+	width  int
+	depth  int
+	table  []uint64 // depth rows of width cells, row-major
+	hashes []*rng.PolyHash
+	n      uint64
+}
+
+// NewCountMin builds a sketch with the given width and depth, drawing
+// hash functions from r. It panics if width or depth is < 1.
+func NewCountMin(width, depth int, r *rng.Xoshiro256) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("sketch: CountMin width and depth must be >= 1")
+	}
+	cm := &CountMin{
+		width:  width,
+		depth:  depth,
+		table:  make([]uint64, width*depth),
+		hashes: make([]*rng.PolyHash, depth),
+	}
+	for i := range cm.hashes {
+		cm.hashes[i] = rng.NewPolyHash(2, r)
+	}
+	return cm
+}
+
+// NewCountMinWithError builds a sketch sized for point-query error ε·N
+// with failure probability δ: width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉.
+func NewCountMinWithError(epsilon, delta float64, r *rng.Xoshiro256) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic("sketch: CountMin epsilon and delta must be in (0, 1)")
+	}
+	width := int(math.Ceil(math.E / epsilon))
+	depth := int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return NewCountMin(width, depth, r)
+}
+
+// Add records count occurrences of item.
+func (cm *CountMin) Add(it stream.Item, count uint64) {
+	for row := 0; row < cm.depth; row++ {
+		col := cm.hashes[row].Bucket(uint64(it), cm.width)
+		cm.table[row*cm.width+col] += count
+	}
+	cm.n += count
+}
+
+// Observe records a single occurrence of item.
+func (cm *CountMin) Observe(it stream.Item) { cm.Add(it, 1) }
+
+// Estimate returns the point estimate f̂_i = min over rows. It never
+// underestimates the true count.
+func (cm *CountMin) Estimate(it stream.Item) uint64 {
+	est := uint64(math.MaxUint64)
+	for row := 0; row < cm.depth; row++ {
+		col := cm.hashes[row].Bucket(uint64(it), cm.width)
+		if v := cm.table[row*cm.width+col]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// N returns the total count added so far (F1 of the observed stream).
+func (cm *CountMin) N() uint64 { return cm.n }
+
+// Width and Depth expose the sketch dimensions.
+func (cm *CountMin) Width() int { return cm.width }
+
+// Depth returns the number of hash rows.
+func (cm *CountMin) Depth() int { return cm.depth }
+
+// SpaceBytes returns the approximate memory footprint of the sketch, used
+// by the experiment harness for space accounting.
+func (cm *CountMin) SpaceBytes() int {
+	return 8*len(cm.table) + 24*cm.depth
+}

@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"sort"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// CountSketch is the Charikar–Chen–Farach-Colton sketch. Point queries
+// have additive error ≈ √(F₂/width) per row, driven to failure
+// probability δ by taking the median of O(log 1/δ) rows. Unlike CountMin
+// it is unbiased, can underestimate, and its per-row second moment also
+// yields an F₂ estimate — the property Theorem 7 and the Rusu–Dobra
+// baseline rely on.
+type CountSketch struct {
+	width   int
+	depth   int
+	table   []int64
+	buckets []*rng.PolyHash // pairwise-independent bucket choice
+	signs   []*rng.PolyHash // 4-wise-independent signs
+	n       uint64
+}
+
+// NewCountSketch builds a sketch with the given width and depth.
+func NewCountSketch(width, depth int, r *rng.Xoshiro256) *CountSketch {
+	if width < 1 || depth < 1 {
+		panic("sketch: CountSketch width and depth must be >= 1")
+	}
+	cs := &CountSketch{
+		width:   width,
+		depth:   depth,
+		table:   make([]int64, width*depth),
+		buckets: make([]*rng.PolyHash, depth),
+		signs:   make([]*rng.PolyHash, depth),
+	}
+	for i := 0; i < depth; i++ {
+		cs.buckets[i] = rng.NewPolyHash(2, r)
+		cs.signs[i] = rng.NewPolyHash(4, r)
+	}
+	return cs
+}
+
+// Add records count occurrences of item (count may model weighted
+// updates; negative counts implement deletions in the turnstile model).
+func (cs *CountSketch) Add(it stream.Item, count int64) {
+	for row := 0; row < cs.depth; row++ {
+		col := cs.buckets[row].Bucket(uint64(it), cs.width)
+		cs.table[row*cs.width+col] += int64(cs.signs[row].Sign(uint64(it))) * count
+	}
+	if count > 0 {
+		cs.n += uint64(count)
+	}
+}
+
+// Observe records a single occurrence of item.
+func (cs *CountSketch) Observe(it stream.Item) { cs.Add(it, 1) }
+
+// Estimate returns the median-of-rows point estimate of item's count.
+func (cs *CountSketch) Estimate(it stream.Item) int64 {
+	ests := make([]int64, cs.depth)
+	for row := 0; row < cs.depth; row++ {
+		col := cs.buckets[row].Bucket(uint64(it), cs.width)
+		ests[row] = int64(cs.signs[row].Sign(uint64(it))) * cs.table[row*cs.width+col]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	mid := cs.depth / 2
+	if cs.depth%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// F2Estimate returns the median over rows of the row's sum of squared
+// cells — an estimate of F₂ of the observed stream with relative error
+// O(1/√width). This is the classic AMS estimate computed from the
+// CountSketch table ("fast AMS").
+func (cs *CountSketch) F2Estimate() float64 {
+	sums := make([]float64, cs.depth)
+	for row := 0; row < cs.depth; row++ {
+		var s float64
+		for col := 0; col < cs.width; col++ {
+			v := float64(cs.table[row*cs.width+col])
+			s += v * v
+		}
+		sums[row] = s
+	}
+	sort.Float64s(sums)
+	mid := cs.depth / 2
+	if cs.depth%2 == 1 {
+		return sums[mid]
+	}
+	return (sums[mid-1] + sums[mid]) / 2
+}
+
+// N returns the total positive count added.
+func (cs *CountSketch) N() uint64 { return cs.n }
+
+// Width returns the number of columns per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Depth returns the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// SpaceBytes returns the approximate memory footprint.
+func (cs *CountSketch) SpaceBytes() int {
+	return 8*len(cs.table) + 48*cs.depth
+}

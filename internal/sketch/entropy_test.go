@@ -1,0 +1,108 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func TestEntropyEstimatorUniform(t *testing.T) {
+	// 64 items, uniform: H = 6 bits.
+	var s stream.Slice
+	for rep := 0; rep < 200; rep++ {
+		for i := 1; i <= 64; i++ {
+			s = append(s, stream.Item(i))
+		}
+	}
+	e := NewEntropyEstimator(9, 200, rng.New(1))
+	for _, it := range s {
+		e.Observe(it)
+	}
+	got := e.Estimate()
+	if math.Abs(got-6) > 0.5 {
+		t.Fatalf("uniform entropy estimate %v, want ≈ 6", got)
+	}
+}
+
+func TestEntropyEstimatorConstantStream(t *testing.T) {
+	e := NewEntropyEstimator(3, 50, rng.New(2))
+	for i := 0; i < 10000; i++ {
+		e.Observe(7)
+	}
+	if got := e.Estimate(); got > 0.01 {
+		t.Fatalf("constant-stream entropy %v, want ≈ 0", got)
+	}
+}
+
+func TestEntropyEstimatorEmpty(t *testing.T) {
+	e := NewEntropyEstimator(3, 10, rng.New(3))
+	if got := e.Estimate(); got != 0 {
+		t.Fatalf("empty estimate %v", got)
+	}
+}
+
+func TestEntropyEstimatorUnbiased(t *testing.T) {
+	// E[X] = H exactly; verify the probe-level estimator over many seeds
+	// on a skewed stream.
+	s := zipfStream(4000, 50, 1.0, 4)
+	exact := stream.NewFreq(s).Entropy()
+	const trials = 400
+	var sum float64
+	r := rng.New(5)
+	for tr := 0; tr < trials; tr++ {
+		e := NewEntropyEstimator(1, 16, r.Split())
+		for _, it := range s {
+			e.Observe(it)
+		}
+		sum += e.Estimate()
+	}
+	mean := sum / trials
+	if math.Abs(mean-exact)/exact > 0.1 {
+		t.Fatalf("entropy estimator mean %v, exact %v", mean, exact)
+	}
+}
+
+func TestEntropyEstimatorSkewed(t *testing.T) {
+	s := zipfStream(60000, 1000, 1.2, 6)
+	exact := stream.NewFreq(s).Entropy()
+	e := NewEntropyEstimator(9, 300, rng.New(7))
+	for _, it := range s {
+		e.Observe(it)
+	}
+	got := e.Estimate()
+	if math.Abs(got-exact)/exact > 0.2 {
+		t.Fatalf("skewed entropy estimate %v, exact %v", got, exact)
+	}
+}
+
+func TestEntropyEstimatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEntropyEstimator(0,1) did not panic")
+		}
+	}()
+	NewEntropyEstimator(0, 1, rng.New(1))
+}
+
+func TestEntropyEstimatorSpaceConstant(t *testing.T) {
+	e := NewEntropyEstimator(5, 100, rng.New(8))
+	before := e.SpaceBytes()
+	for i := 0; i < 100000; i++ {
+		e.Observe(stream.Item(i%997 + 1))
+	}
+	if e.SpaceBytes() != before {
+		t.Fatalf("entropy estimator space grew: %d → %d", before, e.SpaceBytes())
+	}
+	if e.N() != 100000 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func BenchmarkEntropyObserve(b *testing.B) {
+	e := NewEntropyEstimator(5, 100, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		e.Observe(stream.Item(i%1000 + 1))
+	}
+}

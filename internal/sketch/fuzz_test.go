@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// Native fuzz targets for the sketch decoders: arbitrary bytes must be
+// rejected cleanly or produce a usable sketch, never panic.
+
+func seedCorpus(f *testing.F) {
+	cm, _ := NewCountMin(8, 2, rng.New(1)).MarshalBinary()
+	cs, _ := NewCountSketch(8, 2, rng.New(2)).MarshalBinary()
+	kv, _ := NewKMV(4, rng.New(3)).MarshalBinary()
+	hl, _ := NewHLL(4, rng.New(4)).MarshalBinary()
+	f.Add(cm)
+	f.Add(cs)
+	f.Add(kv)
+	f.Add(hl)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+}
+
+func FuzzUnmarshalCountMin(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cm, err := UnmarshalCountMin(data)
+		if err != nil {
+			return
+		}
+		// A decoded sketch must be usable.
+		cm.Observe(stream.Item(1))
+		_ = cm.Estimate(stream.Item(1))
+		if _, err := cm.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}
+
+func FuzzUnmarshalCountSketch(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := UnmarshalCountSketch(data)
+		if err != nil {
+			return
+		}
+		cs.Observe(stream.Item(1))
+		_ = cs.Estimate(stream.Item(1))
+		_ = cs.F2Estimate()
+	})
+}
+
+func FuzzUnmarshalKMV(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalKMV(data)
+		if err != nil {
+			return
+		}
+		s.Observe(stream.Item(1))
+		if est := s.Estimate(); est < 0 {
+			t.Fatalf("negative estimate %v", est)
+		}
+	})
+}
+
+func FuzzUnmarshalHLL(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalHLL(data)
+		if err != nil {
+			return
+		}
+		h.Observe(stream.Item(1))
+		if est := h.Estimate(); est < 0 {
+			t.Fatalf("negative estimate %v", est)
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"substream/internal/rng"
+)
+
+// This file implements compact binary serialization for the summaries a
+// distributed monitor ships to its collector: CountMin, CountSketch, KMV
+// and HLL (the mergeable set the distributed example uses). Formats are
+// versioned little-endian with a per-type magic byte; hash functions are
+// serialized as their polynomial coefficients so an unmarshalled sketch
+// is bit-identical to — and therefore mergeable with — its source.
+
+// Type tags for the serialized formats.
+const (
+	tagCountMin    byte = 0x01
+	tagCountSketch byte = 0x02
+	tagKMV         byte = 0x03
+	tagHLL         byte = 0x04
+)
+
+const marshalVersion byte = 1
+
+// writer accumulates little-endian fields.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) hash(h *rng.PolyHash) {
+	coef := h.Coefficients()
+	w.u32(uint32(len(coef)))
+	for _, c := range coef {
+		w.u64(c)
+	}
+}
+
+// reader consumes little-endian fields with bounds checking.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) hash() *rng.PolyHash {
+	n := r.u32()
+	if r.err != nil || n == 0 || n > 16 {
+		r.fail()
+		return nil
+	}
+	coef := make([]uint64, n)
+	for i := range coef {
+		coef[i] = r.u64()
+		if coef[i] >= uint64(1)<<61-1 {
+			r.fail()
+			return nil
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return rng.NewPolyHashFromCoefficients(coef)
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("sketch: truncated or corrupt serialized sketch")
+	}
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("sketch: %d trailing bytes after sketch", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// header validates the (tag, version) prefix.
+func (r *reader) header(tag byte) {
+	if got := r.u8(); r.err == nil && got != tag {
+		r.err = fmt.Errorf("sketch: wrong sketch type %#x (want %#x)", got, tag)
+	}
+	if got := r.u8(); r.err == nil && got != marshalVersion {
+		r.err = fmt.Errorf("sketch: unsupported version %d", got)
+	}
+}
+
+// sanity limits keep corrupt input from provoking huge allocations.
+const (
+	maxDim   = 1 << 24
+	maxCells = 1 << 28
+)
+
+// MarshalBinary serializes the sketch.
+func (cm *CountMin) MarshalBinary() ([]byte, error) {
+	w := &writer{}
+	w.u8(tagCountMin)
+	w.u8(marshalVersion)
+	w.u32(uint32(cm.width))
+	w.u32(uint32(cm.depth))
+	w.u64(cm.n)
+	for _, h := range cm.hashes {
+		w.hash(h)
+	}
+	for _, c := range cm.table {
+		w.u64(c)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalCountMin reconstructs a CountMin from MarshalBinary output.
+func UnmarshalCountMin(data []byte) (*CountMin, error) {
+	r := &reader{buf: data}
+	r.header(tagCountMin)
+	width := int(r.u32())
+	depth := int(r.u32())
+	n := r.u64()
+	if r.err == nil && (width < 1 || depth < 1 || width > maxDim || depth > 64 || width*depth > maxCells) {
+		r.fail()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	cm := &CountMin{width: width, depth: depth, n: n,
+		table: make([]uint64, width*depth), hashes: make([]*rng.PolyHash, depth)}
+	for i := range cm.hashes {
+		cm.hashes[i] = r.hash()
+	}
+	for i := range cm.table {
+		cm.table[i] = r.u64()
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return cm, nil
+}
+
+// MarshalBinary serializes the sketch.
+func (cs *CountSketch) MarshalBinary() ([]byte, error) {
+	w := &writer{}
+	w.u8(tagCountSketch)
+	w.u8(marshalVersion)
+	w.u32(uint32(cs.width))
+	w.u32(uint32(cs.depth))
+	w.u64(cs.n)
+	for _, h := range cs.buckets {
+		w.hash(h)
+	}
+	for _, h := range cs.signs {
+		w.hash(h)
+	}
+	for _, c := range cs.table {
+		w.i64(c)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalCountSketch reconstructs a CountSketch from MarshalBinary
+// output.
+func UnmarshalCountSketch(data []byte) (*CountSketch, error) {
+	r := &reader{buf: data}
+	r.header(tagCountSketch)
+	width := int(r.u32())
+	depth := int(r.u32())
+	n := r.u64()
+	if r.err == nil && (width < 1 || depth < 1 || width > maxDim || depth > 64 || width*depth > maxCells) {
+		r.fail()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	cs := &CountSketch{width: width, depth: depth, n: n,
+		table:   make([]int64, width*depth),
+		buckets: make([]*rng.PolyHash, depth),
+		signs:   make([]*rng.PolyHash, depth)}
+	for i := range cs.buckets {
+		cs.buckets[i] = r.hash()
+	}
+	for i := range cs.signs {
+		cs.signs[i] = r.hash()
+	}
+	for i := range cs.table {
+		cs.table[i] = r.i64()
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// MarshalBinary serializes the sketch.
+func (s *KMV) MarshalBinary() ([]byte, error) {
+	w := &writer{}
+	w.u8(tagKMV)
+	w.u8(marshalVersion)
+	w.u32(uint32(s.k))
+	w.hash(s.h)
+	w.u32(uint32(s.heap.Len()))
+	for _, hv := range s.heap {
+		w.u64(hv)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalKMV reconstructs a KMV from MarshalBinary output.
+func UnmarshalKMV(data []byte) (*KMV, error) {
+	r := &reader{buf: data}
+	r.header(tagKMV)
+	k := int(r.u32())
+	if r.err == nil && (k < 2 || k > maxDim) {
+		r.fail()
+	}
+	h := r.hash()
+	count := int(r.u32())
+	if r.err == nil && count > k {
+		r.fail()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	s := &KMV{k: k, h: h, seen: make(map[uint64]struct{}, count)}
+	for i := 0; i < count; i++ {
+		hv := r.u64()
+		if _, dup := s.seen[hv]; dup {
+			r.fail()
+			break
+		}
+		s.seen[hv] = struct{}{}
+		pushHash(&s.heap, hv)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MarshalBinary serializes the sketch.
+func (h *HLL) MarshalBinary() ([]byte, error) {
+	w := &writer{}
+	w.u8(tagHLL)
+	w.u8(marshalVersion)
+	w.u8(byte(h.precision))
+	w.u64(h.seedA)
+	w.u64(h.seedB)
+	w.buf = append(w.buf, h.registers...)
+	return w.buf, nil
+}
+
+// UnmarshalHLL reconstructs an HLL from MarshalBinary output.
+func UnmarshalHLL(data []byte) (*HLL, error) {
+	r := &reader{buf: data}
+	r.header(tagHLL)
+	precision := uint(r.u8())
+	seedA := r.u64()
+	seedB := r.u64()
+	if r.err == nil && (precision < 4 || precision > 18) {
+		r.fail()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	want := 1 << precision
+	if len(r.buf)-r.off != want {
+		return nil, fmt.Errorf("sketch: HLL register block is %d bytes, want %d", len(r.buf)-r.off, want)
+	}
+	h := &HLL{precision: precision, seedA: seedA, seedB: seedB,
+		registers: make([]uint8, want)}
+	copy(h.registers, r.buf[r.off:])
+	return h, nil
+}

@@ -1,0 +1,200 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func TestCountMinMarshalRoundTrip(t *testing.T) {
+	cm := NewCountMin(256, 4, rng.New(1))
+	s := zipfStream(20000, 500, 1.1, 2)
+	for _, it := range s {
+		cm.Observe(it)
+	}
+	data, err := cm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCountMin(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != cm.N() || back.Width() != cm.Width() || back.Depth() != cm.Depth() {
+		t.Fatal("metadata lost in round trip")
+	}
+	for it := stream.Item(1); it <= 500; it++ {
+		if back.Estimate(it) != cm.Estimate(it) {
+			t.Fatalf("estimate differs for %d", it)
+		}
+	}
+	// The reconstructed sketch must merge with the original family.
+	other := NewCountMin(256, 4, rng.New(1))
+	other.Observe(7)
+	if err := back.Merge(other); err != nil {
+		t.Fatalf("round-tripped sketch not mergeable: %v", err)
+	}
+}
+
+func TestCountSketchMarshalRoundTrip(t *testing.T) {
+	cs := NewCountSketch(128, 5, rng.New(3))
+	s := zipfStream(20000, 300, 1.0, 4)
+	for _, it := range s {
+		cs.Observe(it)
+	}
+	cs.Add(9, -50) // negative cells must survive
+	data, err := cs.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCountSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.F2Estimate() != cs.F2Estimate() {
+		t.Fatal("F2 estimate differs after round trip")
+	}
+	for it := stream.Item(1); it <= 300; it++ {
+		if back.Estimate(it) != cs.Estimate(it) {
+			t.Fatalf("estimate differs for %d", it)
+		}
+	}
+}
+
+func TestKMVMarshalRoundTrip(t *testing.T) {
+	kmv := NewKMV(128, rng.New(5))
+	for i := 1; i <= 10000; i++ {
+		kmv.Observe(stream.Item(i))
+	}
+	data, err := kmv.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalKMV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != kmv.Estimate() {
+		t.Fatalf("estimate differs: %v vs %v", back.Estimate(), kmv.Estimate())
+	}
+	// Continue observing on the reconstructed sketch: dedup state intact.
+	before := back.Estimate()
+	for i := 1; i <= 10000; i++ {
+		back.Observe(stream.Item(i)) // all duplicates
+	}
+	if back.Estimate() != before {
+		t.Fatal("duplicates changed reconstructed KMV (seen-set lost)")
+	}
+	// And merge with a sibling from the same seed.
+	sib := NewKMV(128, rng.New(5))
+	for i := 10001; i <= 15000; i++ {
+		sib.Observe(stream.Item(i))
+	}
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped KMV not mergeable: %v", err)
+	}
+}
+
+func TestKMVMarshalBelowK(t *testing.T) {
+	kmv := NewKMV(64, rng.New(6))
+	kmv.Observe(1)
+	kmv.Observe(2)
+	data, _ := kmv.MarshalBinary()
+	back, err := UnmarshalKMV(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != 2 {
+		t.Fatalf("below-k estimate %v, want 2", back.Estimate())
+	}
+}
+
+func TestHLLMarshalRoundTrip(t *testing.T) {
+	h := NewHLL(10, rng.New(7))
+	for i := 1; i <= 50000; i++ {
+		h.Observe(stream.Item(i))
+	}
+	data, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalHLL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != h.Estimate() {
+		t.Fatal("HLL estimate differs after round trip")
+	}
+	if err := back.Merge(h); err != nil {
+		t.Fatalf("round-tripped HLL not mergeable: %v", err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cm := NewCountMin(16, 2, rng.New(8))
+	data, _ := cm.MarshalBinary()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"wrong tag":   append([]byte{0x7f}, data[1:]...),
+		"bad version": append([]byte{data[0], 99}, data[2:]...),
+		"truncated":   data[:len(data)-3],
+		"trailing":    append(append([]byte{}, data...), 0xff),
+	}
+	for name, d := range cases {
+		if _, err := UnmarshalCountMin(d); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	// Cross-type confusion.
+	kmvData, _ := NewKMV(8, rng.New(9)).MarshalBinary()
+	if _, err := UnmarshalCountMin(kmvData); err == nil {
+		t.Fatal("KMV bytes accepted as CountMin")
+	}
+	if _, err := UnmarshalHLL(data); err == nil {
+		t.Fatal("CountMin bytes accepted as HLL")
+	}
+}
+
+func TestUnmarshalFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		// All four decoders must reject or accept, never panic.
+		_, _ = UnmarshalCountMin(data)
+		_, _ = UnmarshalCountSketch(data)
+		_, _ = UnmarshalKMV(data)
+		_, _ = UnmarshalHLL(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	// Random streams: round-tripped CountMin answers identically.
+	f := func(seed uint64, items []uint16) bool {
+		cm := NewCountMin(64, 3, rng.New(seed))
+		for _, v := range items {
+			cm.Observe(stream.Item(v) + 1)
+		}
+		data, err := cm.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalCountMin(data)
+		if err != nil {
+			return false
+		}
+		for _, v := range items {
+			if back.Estimate(stream.Item(v)+1) != cm.Estimate(stream.Item(v)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file adds distributed merging: several monitors (e.g. line cards
+// or routers) each observe an independently Bernoulli-sampled substream
+// and a collector combines their summaries. All linear sketches merge
+// exactly; the counter-based summaries merge with the standard bounded
+// error. Merging requires structurally compatible sketches — same shape
+// AND same hash functions, which in this library means "constructed from
+// generators at identical state" (the deterministic constructors make
+// that trivial: seed both sides identically). Compatibility of the hash
+// functions is verified with probe keys rather than trusted.
+
+// ErrIncompatible is returned when two sketches cannot be merged.
+var ErrIncompatible = errors.New("sketch: incompatible sketches")
+
+// probeKeys are fixed keys used to verify two sketches share hash
+// functions; agreement on all probes makes accidental compatibility
+// claims astronomically unlikely.
+var probeKeys = [4]uint64{0x9e3779b97f4a7c15, 1, 1 << 40, 0xdeadbeef}
+
+// Merge folds other into cm. Both must have identical dimensions and
+// hash functions (same construction seed).
+func (cm *CountMin) Merge(other *CountMin) error {
+	if cm.width != other.width || cm.depth != other.depth {
+		return fmt.Errorf("%w: CountMin dims %dx%d vs %dx%d",
+			ErrIncompatible, cm.depth, cm.width, other.depth, other.width)
+	}
+	for row := 0; row < cm.depth; row++ {
+		for _, probe := range probeKeys {
+			if cm.hashes[row].Bucket(probe, cm.width) != other.hashes[row].Bucket(probe, other.width) {
+				return fmt.Errorf("%w: CountMin hash functions differ (row %d)", ErrIncompatible, row)
+			}
+		}
+	}
+	for i := range cm.table {
+		cm.table[i] += other.table[i]
+	}
+	cm.n += other.n
+	return nil
+}
+
+// Merge folds other into cs. Both must have identical dimensions, bucket
+// hashes, and sign hashes.
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if cs.width != other.width || cs.depth != other.depth {
+		return fmt.Errorf("%w: CountSketch dims %dx%d vs %dx%d",
+			ErrIncompatible, cs.depth, cs.width, other.depth, other.width)
+	}
+	for row := 0; row < cs.depth; row++ {
+		for _, probe := range probeKeys {
+			if cs.buckets[row].Bucket(probe, cs.width) != other.buckets[row].Bucket(probe, other.width) ||
+				cs.signs[row].Sign(probe) != other.signs[row].Sign(probe) {
+				return fmt.Errorf("%w: CountSketch hash functions differ (row %d)", ErrIncompatible, row)
+			}
+		}
+	}
+	for i := range cs.table {
+		cs.table[i] += other.table[i]
+	}
+	cs.n += other.n
+	return nil
+}
+
+// Merge folds other into a. Both must share shape and sign functions.
+func (a *AMS) Merge(other *AMS) error {
+	if a.groups != other.groups || a.perGroup != other.perGroup {
+		return fmt.Errorf("%w: AMS shape %dx%d vs %dx%d",
+			ErrIncompatible, a.groups, a.perGroup, other.groups, other.perGroup)
+	}
+	for i := range a.signs {
+		for _, probe := range probeKeys {
+			if a.signs[i].Sign(probe) != other.signs[i].Sign(probe) {
+				return fmt.Errorf("%w: AMS sign functions differ (counter %d)", ErrIncompatible, i)
+			}
+		}
+	}
+	for i := range a.counters {
+		a.counters[i] += other.counters[i]
+	}
+	return nil
+}
+
+// Merge folds other into s: the union's k smallest distinct hash values.
+// Both sides must share k and the hash function.
+func (s *KMV) Merge(other *KMV) error {
+	if s.k != other.k {
+		return fmt.Errorf("%w: KMV k %d vs %d", ErrIncompatible, s.k, other.k)
+	}
+	for _, probe := range probeKeys {
+		if s.h.Hash(probe) != other.h.Hash(probe) {
+			return fmt.Errorf("%w: KMV hash functions differ", ErrIncompatible)
+		}
+	}
+	// Re-observing by hash value keeps the heap/seen invariants; feed
+	// each foreign value through the same admission logic.
+	for _, hv := range other.heap {
+		s.admitHash(hv)
+	}
+	return nil
+}
+
+// admitHash inserts a raw hash value with the same policy as Observe.
+func (s *KMV) admitHash(hv uint64) {
+	if _, dup := s.seen[hv]; dup {
+		return
+	}
+	if s.heap.Len() < s.k {
+		s.seen[hv] = struct{}{}
+		pushHash(&s.heap, hv)
+		return
+	}
+	if hv < s.heap[0] {
+		evicted := popHash(&s.heap)
+		delete(s.seen, evicted)
+		s.seen[hv] = struct{}{}
+		pushHash(&s.heap, hv)
+	}
+}
+
+// Merge folds other into h: per-register maximum. Both sides must share
+// precision and hash seeds.
+func (h *HLL) Merge(other *HLL) error {
+	if h.precision != other.precision {
+		return fmt.Errorf("%w: HLL precision %d vs %d", ErrIncompatible, h.precision, other.precision)
+	}
+	if h.seedA != other.seedA || h.seedB != other.seedB {
+		return fmt.Errorf("%w: HLL hash seeds differ", ErrIncompatible)
+	}
+	for i := range h.registers {
+		if other.registers[i] > h.registers[i] {
+			h.registers[i] = other.registers[i]
+		}
+	}
+	return nil
+}
+
+// Merge folds other into mg with the Agarwal et al. merge rule: add
+// matching counters, then subtract the (k+1)-th largest count from all
+// and drop non-positive ones. The merged summary keeps the combined
+// error bound N_total/(k+1).
+func (mg *MisraGries) Merge(other *MisraGries) error {
+	if mg.k != other.k {
+		return fmt.Errorf("%w: MisraGries k %d vs %d", ErrIncompatible, mg.k, other.k)
+	}
+	for it, c := range other.counters {
+		mg.counters[it] += c
+	}
+	mg.n += other.n
+	if len(mg.counters) <= mg.k {
+		return nil
+	}
+	// Find the (k+1)-th largest count.
+	counts := make([]uint64, 0, len(mg.counters))
+	for _, c := range mg.counters {
+		counts = append(counts, c)
+	}
+	kth := quickselectDesc(counts, mg.k) // value at rank k (0-based): (k+1)-th largest
+	for it, c := range mg.counters {
+		if c <= kth {
+			delete(mg.counters, it)
+		} else {
+			mg.counters[it] = c - kth
+		}
+	}
+	return nil
+}
+
+// quickselectDesc returns the value of rank `rank` (0-based) in
+// descending order, i.e. rank 0 is the maximum. It partially sorts vals.
+func quickselectDesc(vals []uint64, rank int) uint64 {
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		pivot := vals[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for vals[i] > pivot {
+				i++
+			}
+			for vals[j] < pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		if rank <= j {
+			hi = j
+		} else if rank >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return vals[rank]
+}
+
+// pushHash and popHash are tiny non-interface heap helpers shared by
+// Observe/Merge paths.
+func pushHash(h *hashMaxHeap, v uint64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] >= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func popHash(h *hashMaxHeap) uint64 {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(*h) && (*h)[l] > (*h)[largest] {
+			largest = l
+		}
+		if r < len(*h) && (*h)[r] > (*h)[largest] {
+			largest = r
+		}
+		if largest == i {
+			return top
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+}

@@ -1,0 +1,174 @@
+package sketch
+
+import (
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Undercount is at most N/(k+1) for every item.
+	s := zipfStream(100000, 2000, 1.1, 1)
+	const k = 100
+	mg := NewMisraGries(k)
+	for _, it := range s {
+		mg.Observe(it)
+	}
+	f := stream.NewFreq(s)
+	bound := mg.ErrorBound()
+	for it, c := range f {
+		est := mg.Estimate(it)
+		if est > c {
+			t.Fatalf("item %d: Misra-Gries overestimated %d > %d", it, est, c)
+		}
+		if float64(c)-float64(est) > bound+1e-9 {
+			t.Fatalf("item %d: undercount %d exceeds bound %v", it, c-est, bound)
+		}
+	}
+}
+
+func TestMisraGriesFindsMajority(t *testing.T) {
+	// An item with frequency > N/(k+1) must survive.
+	var s stream.Slice
+	for i := 0; i < 600; i++ {
+		s = append(s, 1)
+	}
+	for i := 0; i < 400; i++ {
+		s = append(s, stream.Item(i+2)) // all distinct
+	}
+	mg := NewMisraGries(9) // bound N/10 = 100 < 600
+	for _, it := range s {
+		mg.Observe(it)
+	}
+	if mg.Estimate(1) == 0 {
+		t.Fatal("majority item evicted")
+	}
+	if !containsItem(mg.Candidates(), 1) {
+		t.Fatal("majority item not in candidates")
+	}
+}
+
+func containsItem(m map[stream.Item]uint64, it stream.Item) bool {
+	_, ok := m[it]
+	return ok
+}
+
+func TestMisraGriesCounterCap(t *testing.T) {
+	mg := NewMisraGries(5)
+	for i := 0; i < 10000; i++ {
+		mg.Observe(stream.Item(i%100 + 1))
+	}
+	if len(mg.Candidates()) > 5 {
+		t.Fatalf("tracked %d > k=5 counters", len(mg.Candidates()))
+	}
+	if mg.N() != 10000 {
+		t.Fatalf("N = %d", mg.N())
+	}
+}
+
+func TestMisraGriesExactWhenFits(t *testing.T) {
+	mg := NewMisraGries(10)
+	s := stream.Slice{1, 1, 2, 3, 3, 3}
+	for _, it := range s {
+		mg.Observe(it)
+	}
+	if mg.Estimate(1) != 2 || mg.Estimate(2) != 1 || mg.Estimate(3) != 3 {
+		t.Fatalf("exact counts wrong: %v", mg.Candidates())
+	}
+}
+
+func TestMisraGriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMisraGries(0) did not panic")
+		}
+	}()
+	NewMisraGries(0)
+}
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK(3)
+	tk.Update(1, 10)
+	tk.Update(2, 20)
+	tk.Update(3, 5)
+	tk.Update(4, 30) // evicts 3
+	items := tk.Items()
+	if len(items) != 3 {
+		t.Fatalf("len = %d", len(items))
+	}
+	if items[0].Item != 4 || items[1].Item != 2 || items[2].Item != 1 {
+		t.Fatalf("order wrong: %+v", items)
+	}
+	if tk.Contains(3) {
+		t.Fatal("evicted item still tracked")
+	}
+	if tk.Min() != 10 {
+		t.Fatalf("Min = %v", tk.Min())
+	}
+}
+
+func TestTopKUpdateExisting(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Update(1, 10)
+	tk.Update(2, 20)
+	tk.Update(1, 50) // revise upward
+	items := tk.Items()
+	if items[0].Item != 1 || items[0].Count != 50 {
+		t.Fatalf("revision lost: %+v", items)
+	}
+	tk.Update(1, 5) // revise downward below 2's count
+	if tk.Items()[0].Item != 2 {
+		t.Fatalf("downward revision not applied: %+v", tk.Items())
+	}
+}
+
+func TestTopKLowCountIgnoredWhenFull(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Update(1, 100)
+	tk.Update(2, 200)
+	tk.Update(3, 50)
+	if tk.Contains(3) {
+		t.Fatal("low-count item admitted")
+	}
+	if tk.Len() != 2 {
+		t.Fatalf("Len = %d", tk.Len())
+	}
+}
+
+func TestTopKHeapInvariantUnderChurn(t *testing.T) {
+	tk := NewTopK(50)
+	r := rng.New(9)
+	truth := map[stream.Item]float64{}
+	for i := 0; i < 20000; i++ {
+		it := stream.Item(r.Intn(200) + 1)
+		truth[it] += float64(r.Intn(10) + 1)
+		tk.Update(it, truth[it])
+	}
+	// The tracked minimum must be ≥ the 50th-largest truth value among
+	// tracked items, and every tracked count must be current.
+	for _, e := range tk.Items() {
+		if truth[e.Item] != e.Count {
+			t.Fatalf("stale count for %d: %v vs %v", e.Item, e.Count, truth[e.Item])
+		}
+	}
+	if tk.Len() != 50 {
+		t.Fatalf("Len = %d", tk.Len())
+	}
+}
+
+func TestTopKEmpty(t *testing.T) {
+	tk := NewTopK(4)
+	if tk.Min() != 0 || tk.Len() != 0 || len(tk.Items()) != 0 {
+		t.Fatal("empty tracker not empty")
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTopK(0) did not panic")
+		}
+	}()
+	NewTopK(0)
+}

@@ -1,0 +1,158 @@
+package sketch
+
+import (
+	"container/heap"
+	"sort"
+
+	"substream/internal/stream"
+)
+
+// TopK tracks the k items with the largest estimated counts seen so far.
+// It is the candidate-set companion to CountMin/CountSketch in the
+// heavy-hitter algorithms: the sketch answers point queries, TopK
+// remembers which items are currently worth reporting.
+type TopK struct {
+	k     int
+	h     tkHeap
+	index map[stream.Item]int // item → position in h
+}
+
+type tkEntry struct {
+	item  stream.Item
+	count float64
+}
+
+type tkHeap []tkEntry
+
+func (h tkHeap) Len() int           { return len(h) }
+func (h tkHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+
+// Swap keeps the index map in sync; it is wired in via the outer type.
+func (h tkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *tkHeap) Push(x interface{}) { *h = append(*h, x.(tkEntry)) }
+func (h *tkHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewTopK returns a tracker for the k largest counts. It panics if k < 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("sketch: TopK requires k >= 1")
+	}
+	return &TopK{k: k, index: make(map[stream.Item]int, k)}
+}
+
+// Update reports a (possibly revised) estimated count for item. The
+// tracker keeps the item if it is already tracked (updating its count) or
+// if its count beats the current minimum.
+func (t *TopK) Update(it stream.Item, count float64) {
+	if pos, ok := t.index[it]; ok {
+		t.h[pos].count = count
+		t.fix(pos)
+		return
+	}
+	if len(t.h) < t.k {
+		t.h = append(t.h, tkEntry{item: it, count: count})
+		t.index[it] = len(t.h) - 1
+		t.up(len(t.h) - 1)
+		return
+	}
+	if count > t.h[0].count {
+		delete(t.index, t.h[0].item)
+		t.h[0] = tkEntry{item: it, count: count}
+		t.index[it] = 0
+		t.down(0)
+	}
+}
+
+// The heap is hand-rolled (rather than container/heap) because sift
+// operations must maintain the index map on every swap.
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.h[parent].count <= t.h[i].count {
+			break
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && t.h[l].count < t.h[smallest].count {
+			smallest = l
+		}
+		if r < n && t.h[r].count < t.h[smallest].count {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		t.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (t *TopK) fix(i int) {
+	t.up(i)
+	t.down(i)
+}
+
+func (t *TopK) swap(i, j int) {
+	t.h[i], t.h[j] = t.h[j], t.h[i]
+	t.index[t.h[i].item] = i
+	t.index[t.h[j].item] = j
+}
+
+// Contains reports whether item is currently tracked.
+func (t *TopK) Contains(it stream.Item) bool {
+	_, ok := t.index[it]
+	return ok
+}
+
+// Min returns the smallest tracked count, or 0 when empty.
+func (t *TopK) Min() float64 {
+	if len(t.h) == 0 {
+		return 0
+	}
+	return t.h[0].count
+}
+
+// Len returns the number of tracked items.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Entry is a tracked item with its estimated count.
+type Entry struct {
+	Item  stream.Item
+	Count float64
+}
+
+// Items returns the tracked items sorted by decreasing count (ties by
+// increasing item id).
+func (t *TopK) Items() []Entry {
+	out := make([]Entry, 0, len(t.h))
+	for _, e := range t.h {
+		out = append(out, Entry{Item: e.item, Count: e.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// interface guard: tkHeap still satisfies heap.Interface so tests can
+// cross-check the hand-rolled sift code against container/heap.
+var _ heap.Interface = (*tkHeap)(nil)

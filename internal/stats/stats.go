@@ -1,0 +1,161 @@
+// Package stats provides the small numerical toolkit the experiment
+// harness uses: summaries of repeated trials (mean, variance, quantiles),
+// error metrics matching the paper's definitions, and plain-text table
+// rendering for experiment output.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary aggregates repeated scalar measurements.
+type Summary struct {
+	values []float64
+}
+
+// Add appends one measurement.
+func (s *Summary) Add(v float64) { s.values = append(s.values, v) }
+
+// N returns the number of measurements.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Variance returns the unbiased sample variance, 0 with < 2 samples.
+func (s *Summary) Variance() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var sum float64
+	for _, v := range s.values {
+		d := v - mean
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation,
+// 0 for an empty summary.
+func (s *Summary) Quantile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// Max returns the largest measurement, 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	max := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest measurement, 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	min := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// RelErr returns |est − truth|/truth, the relative error the paper's
+// (1+ε)-style guarantees bound. It returns 0 when both are 0 and +Inf
+// when only the truth is 0.
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-truth) / math.Abs(truth)
+}
+
+// MultErr returns the multiplicative error max(est/truth, truth/est) — the
+// α of Definition 1's (α, δ)-estimator, which Lemma 8 and Theorem 4 use.
+// Non-positive inputs return +Inf (the estimator failed completely).
+func MultErr(est, truth float64) float64 {
+	if est <= 0 || truth <= 0 {
+		return math.Inf(1)
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// PrecisionRecall compares a reported set against ground truth.
+func PrecisionRecall(reported, truth map[uint64]bool) (precision, recall float64) {
+	if len(reported) == 0 {
+		precision = 1
+	} else {
+		tp := 0
+		for it := range reported {
+			if truth[it] {
+				tp++
+			}
+		}
+		precision = float64(tp) / float64(len(reported))
+	}
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		found := 0
+		for it := range truth {
+			if reported[it] {
+				found++
+			}
+		}
+		recall = float64(found) / float64(len(truth))
+	}
+	return precision, recall
+}

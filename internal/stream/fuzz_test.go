@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets: under plain `go test` these run their seed corpus;
+// under `go test -fuzz` they explore. Parsers must never panic and
+// accepted inputs must round-trip.
+
+func FuzzReadText(f *testing.F) {
+	f.Add([]byte("1\n2\n3\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("999999999999999999\n"))
+	f.Add([]byte("0\n"))
+	f.Add([]byte("-1\n"))
+	f.Add([]byte("abc\n1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted stream: every item valid and re-encodable.
+		var buf bytes.Buffer
+		if err := WriteText(&buf, s); err != nil {
+			t.Fatalf("accepted stream failed to encode: %v", err)
+		}
+		back, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if s[i] == 0 {
+				t.Fatal("parser accepted item 0")
+			}
+			if back[i] != s[i] {
+				t.Fatalf("round trip changed item %d", i)
+			}
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, Slice{1, 2, 3, 1 << 40})
+	f.Add(seed.Bytes())
+	f.Add([]byte("sub1"))
+	f.Add([]byte(""))
+	f.Add([]byte("nope1234"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, s); err != nil {
+			t.Fatalf("accepted stream failed to encode: %v", err)
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil || len(back) != len(s) {
+			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(back), len(s))
+		}
+	})
+}

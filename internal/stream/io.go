@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file provides the codecs the command-line tools use to move streams
+// between processes: a human-readable text form (one decimal item per
+// line) and a compact binary form (varint-encoded).
+
+// WriteText writes s to w as one decimal item per line.
+func WriteText(w io.Writer, s Stream) error {
+	bw := bufio.NewWriter(w)
+	err := s.ForEach(func(it Item) error {
+		if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a one-item-per-line text stream. Blank lines are
+// skipped; any other parse failure is an error.
+func ReadText(r io.Reader) (Slice, error) {
+	var out Slice
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(txt, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", line, err)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("stream: line %d: item 0 is outside the 1-based universe", line)
+		}
+		out = append(out, Item(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// binaryMagic identifies the binary stream format; bumping the version
+// byte invalidates old files loudly instead of misparsing them.
+var binaryMagic = [4]byte{'s', 'u', 'b', '1'}
+
+// WriteBinary writes s to w in the compact binary format: a 4-byte magic,
+// a varint length, then varint items.
+func WriteBinary(w io.Writer, s Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(s.Len()))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	err := s.ForEach(func(it Item) error {
+		n := binary.PutUvarint(buf[:], uint64(it))
+		_, err := bw.Write(buf[:n])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary stream format produced by WriteBinary.
+func ReadBinary(r io.Reader) (Slice, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("stream: bad magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading length: %w", err)
+	}
+	const maxReasonable = 1 << 34
+	if count > maxReasonable {
+		return nil, fmt.Errorf("stream: declared length %d exceeds limit", count)
+	}
+	out := make(Slice, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: reading item %d: %w", i, err)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("stream: item %d is 0, outside the 1-based universe", i)
+		}
+		out = append(out, Item(v))
+	}
+	return out, nil
+}

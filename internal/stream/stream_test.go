@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSliceStream(t *testing.T) {
+	s := Slice{1, 2, 2, 3}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	var got []Item
+	if err := s.ForEach(func(it Item) error {
+		got = append(got, it)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 1 || got[3] != 3 {
+		t.Fatalf("ForEach order wrong: %v", got)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	s := Slice{1, 2, 3}
+	sentinel := errors.New("boom")
+	count := 0
+	err := s.ForEach(func(it Item) error {
+		count++
+		if it == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("iteration did not stop early: %d calls", count)
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	f := Func{
+		N: 3,
+		Gen: func(emit func(Item) error) error {
+			for i := Item(1); i <= 3; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	got := Collect(f)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Collect = %v", got)
+	}
+	// Replayable: a second pass sees the same items.
+	again := Collect(f)
+	if len(again) != 3 || again[0] != got[0] {
+		t.Fatalf("Func stream not replayable: %v vs %v", again, got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(Slice{1, 5, 10}, 10); err != nil {
+		t.Fatalf("valid stream rejected: %v", err)
+	}
+	if err := Validate(Slice{1, 11}, 10); err == nil {
+		t.Fatal("item above universe accepted")
+	}
+	if err := Validate(Slice{0}, 10); err == nil {
+		t.Fatal("item 0 accepted")
+	}
+	if err := Validate(Slice{}, 10); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	got := Collect(Slice{})
+	if len(got) != 0 {
+		t.Fatalf("Collect(empty) = %v", got)
+	}
+}

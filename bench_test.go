@@ -12,6 +12,7 @@ import (
 
 	"substream/internal/core"
 	"substream/internal/experiments"
+	"substream/internal/pipeline"
 	"substream/internal/rng"
 	"substream/internal/sample"
 	"substream/internal/stream"
@@ -135,6 +136,79 @@ func BenchmarkBernoulliSamplePipeline(b *testing.B) {
 		}
 		_ = bern
 	}
+}
+
+// --- sharded ingestion pipeline (internal/pipeline) ---
+
+// benchmarkPipelineShards measures end-to-end pipeline throughput on the
+// Zipf workload: original stream in, in-shard Bernoulli sampling, one
+// level-set Fk replica per shard, merge at the end. ns/op is the cost of
+// one full pass; speedup across the shard counts is near-linear up to the
+// machine's core count (on a single-core machine the shard counts tie,
+// since every worker shares the one CPU).
+func benchmarkPipelineShards(b *testing.B, shards int) {
+	wl := workload.Zipf(1<<17, 65536, 1.1, 7)
+	s := stream.Collect(wl.Stream)
+	b.SetBytes(int64(8 * len(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl := pipeline.New(pipeline.Config{
+			Shards:    shards,
+			BatchSize: 1024,
+			SampleP:   0.2,
+			Seed:      uint64(i) + 1,
+		}, func(shard int) *core.FkEstimator {
+			return core.NewFkEstimator(core.FkConfig{K: 2, P: 0.2, Budget: 4096}, rng.New(42))
+		})
+		pl.FeedSlice(s)
+		merged, err := pipeline.MergeAll(pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if merged.Estimate() <= 0 {
+			b.Fatal("degenerate estimate")
+		}
+	}
+}
+
+func BenchmarkPipelineShards1(b *testing.B) { benchmarkPipelineShards(b, 1) }
+func BenchmarkPipelineShards2(b *testing.B) { benchmarkPipelineShards(b, 2) }
+func BenchmarkPipelineShards4(b *testing.B) { benchmarkPipelineShards(b, 4) }
+func BenchmarkPipelineShards8(b *testing.B) { benchmarkPipelineShards(b, 8) }
+
+// BenchmarkPipelineBatchVsObserve isolates the batched hot path: the same
+// sampled stream pushed through one estimator per-item vs in batches.
+// The delta is the per-item interface-dispatch and bookkeeping overhead
+// UpdateBatch exists to amortize — visible even on one core.
+func BenchmarkPipelineBatchVsObserve(b *testing.B) {
+	L := sampledZipf(1<<17, 0.2)
+	b.Run("observe", func(b *testing.B) {
+		e := core.NewFkEstimator(core.FkConfig{K: 2, P: 0.2, Budget: 4096}, rng.New(1))
+		b.SetBytes(int64(8 * len(L)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, it := range L {
+				e.Observe(it)
+			}
+		}
+	})
+	b.Run("batch1024", func(b *testing.B) {
+		e := core.NewFkEstimator(core.FkConfig{K: 2, P: 0.2, Budget: 4096}, rng.New(1))
+		b.SetBytes(int64(8 * len(L)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for off := 0; off < len(L); off += 1024 {
+				end := off + 1024
+				if end > len(L) {
+					end = len(L)
+				}
+				e.UpdateBatch(L[off:end])
+			}
+		}
+	})
 }
 
 // --- ablation: adaptive sampling probability (paper's open question 2) ---

@@ -4,11 +4,18 @@
 // would, feeds only the sampled stream to the chosen estimator, and
 // prints estimate vs exact.
 //
+// With -shards N > 1 the stream is ingested through the sharded pipeline
+// (internal/pipeline): batches of -batch items are dealt round-robin to N
+// workers, each worker samples and feeds its own estimator replica, and
+// the replicas are merged into one estimate — the single-machine version
+// of the distributed-monitor deployment.
+//
 // Usage:
 //
 //	substream -stat f2 -p 0.1 [-input stream.txt] [-k 3] [-alpha 0.05]
+//	          [-shards 4] [-batch 1024]
 //
-// Stats: f0, fk (with -k), entropy, hh1, hh2.
+// Stats: f0, fk (with -k), entropy, hh1, hh2, all.
 package main
 
 import (
@@ -18,35 +25,51 @@ import (
 	"os"
 
 	"substream/internal/core"
+	"substream/internal/pipeline"
 	"substream/internal/rng"
-	"substream/internal/sample"
 	"substream/internal/stream"
 )
 
+// options carries every CLI flag; tests drive run with a literal.
+type options struct {
+	stat   string
+	p      float64
+	input  string
+	k      int
+	alpha  float64
+	eps    float64
+	seed   uint64
+	exact  bool
+	budget int
+	shards int
+	batch  int
+}
+
 func main() {
-	var (
-		statName = flag.String("stat", "f2", "statistic: f0 | fk | entropy | hh1 | hh2")
-		p        = flag.Float64("p", 0.1, "Bernoulli sampling probability")
-		input    = flag.String("input", "", "input stream file (default stdin)")
-		k        = flag.Int("k", 2, "moment order for -stat fk")
-		alpha    = flag.Float64("alpha", 0.05, "heaviness threshold for hh1/hh2")
-		eps      = flag.Float64("eps", 0.2, "target relative error")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		exact    = flag.Bool("exact-collisions", false, "use the exact collision backend for fk")
-		budget   = flag.Int("budget", 4096, "level-set budget for fk")
-	)
+	var opt options
+	flag.StringVar(&opt.stat, "stat", "f2", "statistic: f0 | fk | entropy | hh1 | hh2 | all")
+	flag.Float64Var(&opt.p, "p", 0.1, "Bernoulli sampling probability")
+	flag.StringVar(&opt.input, "input", "", "input stream file (default stdin)")
+	flag.IntVar(&opt.k, "k", 2, "moment order for -stat fk")
+	flag.Float64Var(&opt.alpha, "alpha", 0.05, "heaviness threshold for hh1/hh2")
+	flag.Float64Var(&opt.eps, "eps", 0.2, "target relative error")
+	flag.Uint64Var(&opt.seed, "seed", 1, "random seed")
+	flag.BoolVar(&opt.exact, "exact-collisions", false, "use the exact collision backend for fk")
+	flag.IntVar(&opt.budget, "budget", 4096, "level-set budget for fk")
+	flag.IntVar(&opt.shards, "shards", 1, "pipeline shard workers (1 = sequential)")
+	flag.IntVar(&opt.batch, "batch", 1024, "pipeline batch size")
 	flag.Parse()
 
-	if err := run(os.Stdout, *statName, *p, *input, *k, *alpha, *eps, *seed, *exact, *budget); err != nil {
+	if err := run(os.Stdout, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "substream:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, statName string, p float64, input string, k int, alpha, eps float64, seed uint64, exact bool, budget int) error {
+func run(w io.Writer, opt options) error {
 	var in io.Reader = os.Stdin
-	if input != "" {
-		f, err := os.Open(input)
+	if opt.input != "" {
+		f, err := os.Open(opt.input)
 		if err != nil {
 			return err
 		}
@@ -54,9 +77,9 @@ func run(w io.Writer, statName string, p float64, input string, k int, alpha, ep
 		in = f
 	}
 	// Accept "f3" etc. as shorthand for -stat fk -k 3.
-	if len(statName) == 2 && statName[0] == 'f' && statName[1] >= '2' && statName[1] <= '9' {
-		k = int(statName[1] - '0')
-		statName = "fk"
+	if len(opt.stat) == 2 && opt.stat[0] == 'f' && opt.stat[1] >= '2' && opt.stat[1] <= '9' {
+		opt.k = int(opt.stat[1] - '0')
+		opt.stat = "fk"
 	}
 
 	s, err := stream.ReadText(in)
@@ -66,55 +89,113 @@ func run(w io.Writer, statName string, p float64, input string, k int, alpha, ep
 	if len(s) == 0 {
 		return fmt.Errorf("empty input stream")
 	}
-	if p <= 0 || p > 1 {
-		return fmt.Errorf("p must be in (0, 1], got %v", p)
+	if opt.p <= 0 || opt.p > 1 {
+		return fmt.Errorf("p must be in (0, 1], got %v", opt.p)
+	}
+	if opt.shards < 1 || opt.batch < 1 {
+		return fmt.Errorf("shards and batch must be >= 1, got %d and %d", opt.shards, opt.batch)
 	}
 
-	r := rng.New(seed)
+	r := rng.New(opt.seed)
+	// Every estimator replica is constructed from this one seed; identical
+	// construction state is what makes the replicas mergeable.
+	estSeed := r.Uint64()
 	f := stream.NewFreq(s)
-	L := sample.NewBernoulli(p).Apply(s, r.Split())
-	fmt.Fprintf(w, "original stream: n=%d distinct=%d; sampled |L|=%d (p=%g)\n",
-		len(s), f.F0(), len(L), p)
+	fmt.Fprintf(w, "original stream: n=%d distinct=%d\n", len(s), f.F0())
 
-	switch statName {
+	switch opt.stat {
 	case "f0":
-		e := core.NewF0Estimator(core.F0Config{P: p}, r.Split())
-		for _, it := range L {
-			e.Observe(it)
+		e, err := estimate(w, opt, s, r, func(int) *core.F0Estimator {
+			return core.NewF0Estimator(core.F0Config{P: opt.p}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
 		}
 		report(w, "F0", e.Estimate(), float64(f.F0()))
 		fmt.Fprintf(w, "guaranteed multiplicative bound: %.2f (Lemma 8)\n", e.ErrorBound())
 	case "fk":
-		e := core.NewFkEstimator(core.FkConfig{K: k, P: p, Epsilon: eps, Exact: exact, Budget: budget}, r.Split())
-		for _, it := range L {
-			e.Observe(it)
+		e, err := estimate(w, opt, s, r, func(int) *core.FkEstimator {
+			return core.NewFkEstimator(core.FkConfig{
+				K: opt.k, P: opt.p, Epsilon: opt.eps, Exact: opt.exact, Budget: opt.budget,
+			}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
 		}
-		report(w, fmt.Sprintf("F%d", k), e.Estimate(), f.Fk(k))
+		report(w, fmt.Sprintf("F%d", opt.k), e.Estimate(), f.Fk(opt.k))
 		fmt.Fprintf(w, "minimum meaningful p (Thm 1): %.4g\n",
-			core.MinSamplingP(uint64(f.F0()), uint64(len(s)), k))
+			core.MinSamplingP(uint64(f.F0()), uint64(len(s)), opt.k))
 	case "entropy":
-		e := core.NewEntropyEstimator(core.EntropyConfig{P: p}, r.Split())
-		for _, it := range L {
-			e.Observe(it)
+		e, err := estimate(w, opt, s, r, func(int) *core.EntropyEstimator {
+			return core.NewEntropyEstimator(core.EntropyConfig{P: opt.p}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
 		}
 		report(w, "H", e.Estimate(), f.Entropy())
 		fmt.Fprintf(w, "additive floor (Thm 5): %.4g bits\n", e.AdditiveFloor(uint64(len(s))))
 	case "hh1":
-		e := core.NewF1HeavyHitters(core.F1HHConfig{P: p, Alpha: alpha, Epsilon: eps}, r.Split())
-		for _, it := range L {
-			e.Observe(it)
+		e, err := estimate(w, opt, s, r, func(int) *core.F1HeavyHitters {
+			return core.NewF1HeavyHitters(core.F1HHConfig{
+				P: opt.p, Alpha: opt.alpha, Epsilon: opt.eps,
+			}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
 		}
 		printHitters(w, e.Report(), f)
 	case "hh2":
-		e := core.NewF2HeavyHitters(core.F2HHConfig{P: p, Alpha: alpha, Epsilon: eps}, r.Split())
-		for _, it := range L {
-			e.Observe(it)
+		e, err := estimate(w, opt, s, r, func(int) *core.F2HeavyHitters {
+			return core.NewF2HeavyHitters(core.F2HHConfig{
+				P: opt.p, Alpha: opt.alpha, Epsilon: opt.eps,
+			}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
 		}
 		printHitters(w, e.Report(), f)
+	case "all":
+		m, err := estimate(w, opt, s, r, func(int) *core.Monitor {
+			return core.NewMonitor(core.MonitorConfig{
+				P: opt.p, K: opt.k, Epsilon: opt.eps, HHAlpha: opt.alpha,
+			}, rng.New(estSeed))
+		})
+		if err != nil {
+			return err
+		}
+		rep := m.Report()
+		report(w, "n", rep.EstimatedLength, float64(len(s)))
+		report(w, fmt.Sprintf("F%d", max(opt.k, 2)), rep.Fk, f.Fk(max(opt.k, 2)))
+		report(w, "F0", rep.F0, float64(f.F0()))
+		report(w, "H", rep.Entropy, f.Entropy())
+		fmt.Fprintf(w, "F1 heavy hitters:\n")
+		printHitters(w, rep.F1HeavyHitters, f)
 	default:
-		return fmt.Errorf("unknown stat %q (want f0 | fk | entropy | hh1 | hh2)", statName)
+		return fmt.Errorf("unknown stat %q (want f0 | fk | entropy | hh1 | hh2 | all)", opt.stat)
 	}
 	return nil
+}
+
+// estimate feeds the original stream to identically-seeded estimator
+// replicas and returns the (merged) estimator. Both paths Bernoulli-
+// sample at opt.p inside the pipeline workers, so -shards 1 reproduces
+// the classic sequential monitor and -shards N merely spreads the same
+// work across cores.
+func estimate[E pipeline.Mergeable[E]](w io.Writer, opt options, s stream.Slice, r *rng.Xoshiro256, mk func(int) E) (E, error) {
+	pl := pipeline.New(pipeline.Config{
+		Shards:    opt.shards,
+		BatchSize: opt.batch,
+		SampleP:   opt.p,
+		Seed:      r.Uint64(),
+	}, mk)
+	pl.FeedSlice(s)
+	e, err := pipeline.MergeAll(pl)
+	if err != nil {
+		return e, err
+	}
+	fmt.Fprintf(w, "sampled |L|=%d (p=%g, shards=%d, batch=%d)\n",
+		pl.Kept(), opt.p, opt.shards, opt.batch)
+	return e, nil
 }
 
 func report(w io.Writer, name string, est, exact float64) {

@@ -27,11 +27,21 @@ func writeStreamFile(t *testing.T, wl workload.Workload) string {
 	return path
 }
 
+// baseOpts returns the flag defaults the tests tweak per case.
+func baseOpts(stat, path string) options {
+	return options{
+		stat: stat, p: 0.3, input: path, k: 2, alpha: 0.05, eps: 0.2,
+		seed: 1, budget: 1024, shards: 1, batch: 1024,
+	}
+}
+
 func TestRunAllStats(t *testing.T) {
 	path := writeStreamFile(t, workload.Zipf(20000, 500, 1.1, 1))
-	for _, stat := range []string{"f0", "fk", "entropy", "hh1", "hh2", "f3"} {
+	for _, stat := range []string{"f0", "fk", "entropy", "hh1", "hh2", "f3", "all"} {
 		var out bytes.Buffer
-		if err := run(&out, stat, 0.3, path, 2, 0.05, 0.2, 1, true, 1024); err != nil {
+		opt := baseOpts(stat, path)
+		opt.exact = true
+		if err := run(&out, opt); err != nil {
 			t.Fatalf("stat %s: %v", stat, err)
 		}
 		got := out.String()
@@ -59,20 +69,54 @@ func TestRunAllStats(t *testing.T) {
 			if !strings.Contains(got, "est freq") && !strings.Contains(got, "no heavy hitters") {
 				t.Fatalf("%s output:\n%s", stat, got)
 			}
+		case "all":
+			for _, want := range []string{"F0 estimate", "H estimate", "heavy hitters"} {
+				if !strings.Contains(got, want) {
+					t.Fatalf("all output missing %q:\n%s", want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSharded drives every stat through the -shards path and checks
+// the sharded pipeline output matches the sequential shape.
+func TestRunSharded(t *testing.T) {
+	path := writeStreamFile(t, workload.Zipf(20000, 500, 1.1, 1))
+	for _, stat := range []string{"f0", "fk", "entropy", "hh1", "hh2", "all"} {
+		var out bytes.Buffer
+		opt := baseOpts(stat, path)
+		opt.exact = true
+		opt.shards = 4
+		opt.batch = 256
+		if err := run(&out, opt); err != nil {
+			t.Fatalf("stat %s sharded: %v", stat, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "shards=4") {
+			t.Fatalf("stat %s missing shard report:\n%s", stat, got)
+		}
+		if !strings.Contains(got, "estimate") && !strings.Contains(got, "est freq") &&
+			!strings.Contains(got, "no heavy hitters") {
+			t.Fatalf("stat %s sharded output:\n%s", stat, got)
 		}
 	}
 }
 
 func TestRunHH1FindsPlantedHitters(t *testing.T) {
 	path := writeStreamFile(t, workload.PlantedHH(50000, 3, 5000, 10000, 2))
-	var out bytes.Buffer
-	if err := run(&out, "hh1", 0.3, path, 2, 0.05, 0.2, 1, false, 1024); err != nil {
-		t.Fatal(err)
-	}
-	got := out.String()
-	for _, id := range []string{"1 ", "2 ", "3 "} {
-		if !strings.Contains(got, id) {
-			t.Fatalf("planted hitter %q missing:\n%s", id, got)
+	for _, shards := range []int{1, 4} {
+		var out bytes.Buffer
+		opt := baseOpts("hh1", path)
+		opt.shards = shards
+		if err := run(&out, opt); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		for _, id := range []string{"1 ", "2 ", "3 "} {
+			if !strings.Contains(got, id) {
+				t.Fatalf("shards=%d: planted hitter %q missing:\n%s", shards, id, got)
+			}
 		}
 	}
 }
@@ -81,20 +125,18 @@ func TestRunErrors(t *testing.T) {
 	path := writeStreamFile(t, workload.Zipf(1000, 50, 1.0, 3))
 	cases := []struct {
 		name string
-		fn   func() error
+		mut  func(*options)
 	}{
-		{"unknown stat", func() error {
-			return run(new(bytes.Buffer), "nope", 0.5, path, 2, 0.05, 0.2, 1, false, 64)
-		}},
-		{"bad p", func() error {
-			return run(new(bytes.Buffer), "f0", 1.5, path, 2, 0.05, 0.2, 1, false, 64)
-		}},
-		{"missing file", func() error {
-			return run(new(bytes.Buffer), "f0", 0.5, path+".nope", 2, 0.05, 0.2, 1, false, 64)
-		}},
+		{"unknown stat", func(o *options) { o.stat = "nope" }},
+		{"bad p", func(o *options) { o.p = 1.5 }},
+		{"missing file", func(o *options) { o.input = path + ".nope" }},
+		{"bad shards", func(o *options) { o.shards = 0 }},
+		{"bad batch", func(o *options) { o.batch = -1 }},
 	}
 	for _, c := range cases {
-		if err := c.fn(); err == nil {
+		opt := baseOpts("f0", path)
+		c.mut(&opt)
+		if err := run(new(bytes.Buffer), opt); err == nil {
 			t.Fatalf("%s: no error", c.name)
 		}
 	}
@@ -105,7 +147,7 @@ func TestRunEmptyStream(t *testing.T) {
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(new(bytes.Buffer), "f0", 0.5, path, 2, 0.05, 0.2, 1, false, 64); err == nil {
+	if err := run(new(bytes.Buffer), baseOpts("f0", path)); err == nil {
 		t.Fatal("empty stream accepted")
 	}
 }

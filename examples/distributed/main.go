@@ -2,12 +2,15 @@
 // Bernoulli-sampled share of the traffic; a central collector merges
 // their summaries instead of the raw samples. The related work the paper
 // surveys (Cormode et al., Tirthapura–Woodruff, "optimal sampling from
-// distributed streams") motivates exactly this deployment.
+// distributed streams") motivates exactly this deployment, and
+// internal/pipeline is its single-machine rendering: one worker per
+// router, in-shard Bernoulli sampling, mergeable per-shard summaries.
 //
-// Each router ships two tiny summaries: a KMV sketch (distinct flows) and
-// a CountMin sketch (per-flow packet counts). Merging is exact for both,
-// so the collector answers as if it had seen every exported packet — and
-// the 1/p scaling then recovers statistics of the ORIGINAL traffic.
+// Each router ships three tiny summaries: a KMV sketch (distinct flows),
+// a CountMin sketch (per-flow packet counts), and an exact-collision Fk
+// estimator (traffic skew via F₂). Merging is exact for all three, so the
+// collector answers as if it had seen every exported packet — and the
+// paper's estimators then recover statistics of the ORIGINAL traffic.
 //
 // Run: go run ./examples/distributed
 package main
@@ -16,8 +19,9 @@ import (
 	"fmt"
 	"math"
 
+	"substream/internal/core"
+	"substream/internal/pipeline"
 	"substream/internal/rng"
-	"substream/internal/sample"
 	"substream/internal/sketch"
 	"substream/internal/stream"
 	"substream/internal/workload"
@@ -30,71 +34,100 @@ const (
 	sketchKMV = 1024
 )
 
+// router is one monitoring point's summary bundle. It rides the pipeline
+// via UpdateBatch and merges into the collector via Merge — the two
+// interfaces the ingestion layer is built around.
+type router struct {
+	kmv *sketch.KMV
+	cm  *sketch.CountMin
+	f2  *core.FkEstimator
+	saw int
+}
+
+// newRouter builds a router's summaries. Every router constructs from the
+// same agreed seed: identical hash functions are what make the summaries
+// mergeable at the collector (verified with probe keys at merge time).
+func newRouter(int) *router {
+	const agreedSeed = 1234
+	return &router{
+		kmv: sketch.NewKMV(sketchKMV, rng.New(agreedSeed)),
+		cm:  sketch.NewCountMin(4096, 5, rng.New(agreedSeed)),
+		f2:  core.NewFkEstimator(core.FkConfig{K: 2, P: p, Exact: true}, rng.New(agreedSeed)),
+	}
+}
+
+// UpdateBatch absorbs one batch of this router's sampled packets.
+func (rt *router) UpdateBatch(items []stream.Item) {
+	rt.kmv.UpdateBatch(items)
+	rt.cm.UpdateBatch(items)
+	rt.f2.UpdateBatch(items)
+	rt.saw += len(items)
+}
+
+// Merge folds another router's summaries into this one.
+func (rt *router) Merge(other *router) error {
+	if err := rt.kmv.Merge(other.kmv); err != nil {
+		return err
+	}
+	if err := rt.cm.Merge(other.cm); err != nil {
+		return err
+	}
+	if err := rt.f2.Merge(other.f2); err != nil {
+		return err
+	}
+	rt.saw += other.saw
+	return nil
+}
+
 func main() {
 	r := rng.New(5)
 	wl, _ := workload.NetFlow(packets, 15000, 1.05, 1.3, 4, r.Uint64())
 	traffic := stream.Collect(wl.Stream)
 	truth := stream.NewFreq(traffic)
 
-	// Mergeable summaries must share construction seeds; each router
-	// builds its own pair from the agreed seed.
-	const agreedSeed = 1234
-	mkKMV := func() *sketch.KMV { return sketch.NewKMV(sketchKMV, rng.New(agreedSeed)) }
-	mkCM := func() *sketch.CountMin { return sketch.NewCountMin(4096, 5, rng.New(agreedSeed)) }
+	// Traffic is dealt across routers batch-by-batch (ECMP-style); each
+	// worker samples its share at p before touching its summaries.
+	pl := pipeline.New(pipeline.Config{
+		Shards:    routers,
+		BatchSize: 2048,
+		SampleP:   p,
+		Seed:      r.Uint64(),
+	}, newRouter)
+	pl.FeedSlice(traffic)
 
-	// Traffic is striped across routers (ECMP-style); each samples at p.
-	type router struct {
-		kmv *sketch.KMV
-		cm  *sketch.CountMin
-		saw int
-	}
-	rs := make([]router, routers)
-	for i := range rs {
-		rs[i] = router{kmv: mkKMV(), cm: mkCM()}
-	}
-	bern := sample.NewBernoulli(p)
-	for i := 0; i < routers; i++ {
-		share := traffic[i*len(traffic)/routers : (i+1)*len(traffic)/routers]
-		_ = bern.Pipe(share, r.Split(), func(it stream.Item) error {
-			rs[i].kmv.Observe(it)
-			rs[i].cm.Observe(it)
-			rs[i].saw++
-			return nil
-		})
-	}
-
-	// Collector: merge all summaries.
-	kmv, cm := mkKMV(), mkCM()
-	totalSeen := 0
-	for i := range rs {
-		if err := kmv.Merge(rs[i].kmv); err != nil {
-			panic(err)
-		}
-		if err := cm.Merge(rs[i].cm); err != nil {
-			panic(err)
-		}
-		totalSeen += rs[i].saw
+	// Collector: stop the workers and fold all summaries into one.
+	collector, err := pipeline.MergeAll(pl)
+	if err != nil {
+		panic(err)
 	}
 
 	fmt.Printf("%d routers exported %d of %d packets (p=%.2f each)\n\n",
-		routers, totalSeen, packets, p)
+		routers, collector.saw, packets, p)
 
 	// Distinct flows in the original traffic: Algorithm 2 on the merged
 	// sample (X/√p).
-	sampledDistinct := kmv.Estimate()
+	sampledDistinct := collector.kmv.Estimate()
 	estF0 := sampledDistinct / math.Sqrt(p) // Algorithm 2: X/√p
 	fmt.Printf("distinct flows: merged-sample estimate %.0f → original-traffic estimate %.0f (true %d)\n",
 		sampledDistinct, estF0, truth.F0())
+
+	// Traffic skew: Algorithm 1's F₂ of the original traffic from the
+	// merged collision counts.
+	estF2 := collector.f2.Estimate()
+	trueF2 := truth.Fk(2)
+	fmt.Printf("traffic F2 (skew): merged estimate %.3g (true %.3g, %+.1f%%)\n",
+		estF2, trueF2, 100*(estF2-trueF2)/trueF2)
 
 	// Top flows: CountMin estimates on the merged sketch, scaled by 1/p.
 	fmt.Printf("\ntop flows from the merged CountMin (scaled by 1/p):\n")
 	fmt.Printf("%-8s %-14s %-12s %-8s\n", "flow", "est packets", "true", "err")
 	for _, hh := range truth.TopK(5) {
-		est := float64(cm.Estimate(hh.Item)) / p
+		est := float64(collector.cm.Estimate(hh.Item)) / p
 		fmt.Printf("%-8d %-14.0f %-12d %+.1f%%\n",
 			hh.Item, est, hh.Freq, 100*(est-float64(hh.Freq))/float64(hh.Freq))
 	}
 
-	fmt.Printf("\nbytes shipped per router: %d (KMV) + %d (CountMin) vs %d sampled packets\n",
-		mkKMV().SpaceBytes(), mkCM().SpaceBytes(), totalSeen/routers*8)
+	ref := newRouter(0)
+	fmt.Printf("\nbytes shipped per router: %d (KMV) + %d (CountMin) + %d (F2) vs %d sampled packets\n",
+		ref.kmv.SpaceBytes(), ref.cm.SpaceBytes(), ref.f2.SpaceBytes(), collector.saw/routers*8)
 }

@@ -1,0 +1,3 @@
+module substream
+
+go 1.24

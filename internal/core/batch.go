@@ -1,0 +1,112 @@
+package core
+
+import (
+	"substream/internal/levelset"
+	"substream/internal/stream"
+)
+
+// This file adds batched ingestion. UpdateBatch(items) observes every
+// item of a batch with one call, removing the per-item interface dispatch
+// that dominates channel-fed deployments and letting the backends run
+// their cache-friendly batch loops (see internal/sketch/batch.go). Every
+// UpdateBatch is behaviorally equivalent to calling Observe per item;
+// randomized backends may consume their generator in a different order,
+// so results are statistically — not bit-for-bit — identical.
+
+// UpdateBatch feeds a batch of sampled-stream elements.
+func (e *FkEstimator) UpdateBatch(items []stream.Item) {
+	e.nL += uint64(len(items))
+	if bc, ok := e.collisions.(levelset.BatchCounter); ok {
+		bc.UpdateBatch(items)
+		return
+	}
+	for _, it := range items {
+		e.collisions.Observe(it)
+	}
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements.
+func (e *F0Estimator) UpdateBatch(items []stream.Item) {
+	type batcher interface{ UpdateBatch([]stream.Item) }
+	if b, ok := e.backend.(batcher); ok {
+		b.UpdateBatch(items)
+		return
+	}
+	for _, it := range items {
+		e.backend.Observe(it)
+	}
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements.
+func (e *GEEF0Estimator) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		e.counts[it]++
+	}
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements.
+func (e *EntropyEstimator) UpdateBatch(items []stream.Item) {
+	e.nL += uint64(len(items))
+	if e.plugin != nil {
+		for _, it := range items {
+			e.plugin[it]++
+		}
+		return
+	}
+	e.sk.UpdateBatch(items)
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements: the sketch
+// absorbs the whole batch first, then the candidate tracker is re-scored
+// once per item with the post-batch estimates. Estimates only grow under
+// inserts, so candidates admitted this way are at least as accurate as
+// under per-item observation, and Report re-queries the sketch anyway.
+func (h *F1HeavyHitters) UpdateBatch(items []stream.Item) {
+	h.observed += uint64(len(items))
+	if h.cm != nil {
+		h.cm.UpdateBatch(items)
+		for _, it := range items {
+			h.tracker.Update(it, float64(h.cm.Estimate(it)))
+		}
+		return
+	}
+	h.mg.UpdateBatch(items)
+	for _, it := range items {
+		if est := h.mg.Estimate(it); est > 0 {
+			h.tracker.Update(it, float64(est))
+		}
+	}
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements, like
+// F1HeavyHitters.UpdateBatch.
+func (h *F2HeavyHitters) UpdateBatch(items []stream.Item) {
+	h.nL += uint64(len(items))
+	h.cs.UpdateBatch(items)
+	for _, it := range items {
+		if est := h.cs.Estimate(it); est > 0 {
+			h.tracker.Update(it, float64(est))
+		}
+	}
+}
+
+// UpdateBatch feeds a batch of sampled-stream elements to every enabled
+// estimator.
+func (m *Monitor) UpdateBatch(items []stream.Item) {
+	m.nL += uint64(len(items))
+	if m.fk != nil {
+		m.fk.UpdateBatch(items)
+	}
+	if m.f0 != nil {
+		m.f0.UpdateBatch(items)
+	}
+	if m.entropy != nil {
+		m.entropy.UpdateBatch(items)
+	}
+	if m.hh1 != nil {
+		m.hh1.UpdateBatch(items)
+	}
+	if m.hh2 != nil {
+		m.hh2.UpdateBatch(items)
+	}
+}

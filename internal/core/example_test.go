@@ -32,6 +32,54 @@ func ExampleFkEstimator() {
 	// Output: exact F2 = 3000, estimate = 3000
 }
 
+// ExampleFkEstimator_Merge shows the sharded deployment: two replicas —
+// built from identical seeds, which is what makes them mergeable — each
+// observe half of the sampled stream, and the merged replica answers
+// exactly like a single estimator that saw everything.
+func ExampleFkEstimator_Merge() {
+	var original stream.Slice
+	for it := stream.Item(1); it <= 4; it++ {
+		for i := stream.Item(0); i < 10*it; i++ {
+			original = append(original, it)
+		}
+	}
+
+	const p = 1.0
+	mk := func() *core.FkEstimator {
+		return core.NewFkEstimator(core.FkConfig{K: 2, P: p, Exact: true}, rng.New(1))
+	}
+	left, right := mk(), mk()
+	half := len(original) / 2
+	left.UpdateBatch(original[:half])
+	right.UpdateBatch(original[half:])
+
+	if err := left.Merge(right); err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged F2 = %.0f, exact = %.0f\n",
+		left.Estimate(), stream.NewFreq(original).Fk(2))
+	// Output: merged F2 = 3000, exact = 3000
+}
+
+// ExampleEntropyEstimator_UpdateBatch shows the batched ingestion path:
+// UpdateBatch is behaviorally identical to per-item Observe, just cheaper
+// per item — it is how the sharded pipeline feeds estimators.
+func ExampleEntropyEstimator_UpdateBatch() {
+	L := stream.Slice{1, 1, 2, 2, 3, 3, 4, 4} // uniform over 4 items: H = 2 bits
+
+	batched := core.NewEntropyEstimator(core.EntropyConfig{P: 1}, rng.New(1))
+	batched.UpdateBatch(L)
+
+	perItem := core.NewEntropyEstimator(core.EntropyConfig{P: 1}, rng.New(1))
+	for _, it := range L {
+		perItem.Observe(it)
+	}
+
+	fmt.Printf("batched H = %.0f bits, per-item H = %.0f bits\n",
+		batched.Estimate(), perItem.Estimate())
+	// Output: batched H = 2 bits, per-item H = 2 bits
+}
+
 // ExampleBetas shows the Lemma 1 coefficients for ℓ = 4:
 // F₄ = 4!·C₄ + 6F₁ − 11F₂ + 6F₃.
 func ExampleBetas() {

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"substream/internal/levelset"
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// This file makes the paper's estimators mergeable: several replicas,
+// each observing a disjoint share of the sampled stream L (or each
+// Bernoulli-sampling its own share of the original stream P — the two
+// deployments are equivalent because sub-sampling commutes with
+// partitioning), fold into a single estimator whose estimates concern the
+// whole stream. This is the seam the sharded ingestion pipeline
+// (internal/pipeline) and the distributed-monitor example build on.
+//
+// Mergeability requires structurally identical replicas: construct every
+// replica with the same configuration AND a generator seeded identically
+// (the deterministic constructors make this trivial). Merge verifies
+// structure and hash agreement and returns sketch.ErrIncompatible when
+// replicas were not built that way. Backends that are inherently
+// single-stream (the reservoir-position entropy sketch) return
+// ErrNotMergeable.
+
+// ErrNotMergeable is returned by Merge when the estimator's configured
+// backend has no sound merge operation.
+var ErrNotMergeable = errors.New("core: estimator backend does not support merging")
+
+// Merge folds other into e. Both must be configured identically (same K,
+// P, and schedule) and share a mergeable collision backend constructed
+// from identical generator state.
+func (e *FkEstimator) Merge(other *FkEstimator) error {
+	if e.k != other.k || e.p != other.p {
+		return fmt.Errorf("%w: FkEstimator (K=%d,P=%g) vs (K=%d,P=%g)",
+			sketch.ErrIncompatible, e.k, e.p, other.k, other.p)
+	}
+	mc, ok := e.collisions.(levelset.MergeableCounter)
+	if !ok {
+		return fmt.Errorf("%w: collision counter %T", ErrNotMergeable, e.collisions)
+	}
+	if err := mc.MergeCounter(other.collisions); err != nil {
+		return err
+	}
+	e.nL += other.nL
+	return nil
+}
+
+// Merge folds other into e. Replicas must share P and a backend
+// constructed from identical generator state; the distinct-count sketches
+// merge exactly, so the merged estimate equals a single estimator's over
+// the union stream.
+func (e *F0Estimator) Merge(other *F0Estimator) error {
+	if e.p != other.p {
+		return fmt.Errorf("%w: F0Estimator P %g vs %g", sketch.ErrIncompatible, e.p, other.p)
+	}
+	switch b := e.backend.(type) {
+	case *sketch.KMV:
+		o, ok := other.backend.(*sketch.KMV)
+		if !ok {
+			return fmt.Errorf("%w: F0 backends %T vs %T", sketch.ErrIncompatible, e.backend, other.backend)
+		}
+		return b.Merge(o)
+	case *sketch.HLL:
+		o, ok := other.backend.(*sketch.HLL)
+		if !ok {
+			return fmt.Errorf("%w: F0 backends %T vs %T", sketch.ErrIncompatible, e.backend, other.backend)
+		}
+		return b.Merge(o)
+	default:
+		return fmt.Errorf("%w: F0 backend %T", ErrNotMergeable, e.backend)
+	}
+}
+
+// Merge folds other into e: frequency profiles add exactly.
+func (e *GEEF0Estimator) Merge(other *GEEF0Estimator) error {
+	if e.p != other.p {
+		return fmt.Errorf("%w: GEEF0Estimator P %g vs %g", sketch.ErrIncompatible, e.p, other.p)
+	}
+	for it, c := range other.counts {
+		e.counts[it] += c
+	}
+	return nil
+}
+
+// Merge folds other into e. The plugin backend merges exactly (frequency
+// vectors add). The reservoir-position sketch backend has no sound merge
+// — a probe's run length cannot be continued across a shard boundary —
+// and returns ErrNotMergeable; shard with the plugin backend instead.
+func (e *EntropyEstimator) Merge(other *EntropyEstimator) error {
+	if e.p != other.p {
+		return fmt.Errorf("%w: EntropyEstimator P %g vs %g", sketch.ErrIncompatible, e.p, other.p)
+	}
+	if e.plugin == nil || other.plugin == nil {
+		return fmt.Errorf("%w: entropy sketch backend", ErrNotMergeable)
+	}
+	for it, c := range other.plugin {
+		e.plugin[it] += c
+	}
+	e.nL += other.nL
+	return nil
+}
+
+// Merge folds other into h. Replicas must share configuration and sketch
+// seeds. CountMin merges exactly (linearity), Misra–Gries with the
+// standard bounded error; the candidate tracker is rebuilt by re-querying
+// the merged sketch for the union of both candidate sets, so Report on
+// the merged estimator sees post-merge frequency estimates.
+func (h *F1HeavyHitters) Merge(other *F1HeavyHitters) error {
+	if h.p != other.p || h.alpha != other.alpha || h.eps != other.eps {
+		return fmt.Errorf("%w: F1HeavyHitters (P=%g,α=%g,ε=%g) vs (P=%g,α=%g,ε=%g)",
+			sketch.ErrIncompatible, h.p, h.alpha, h.eps, other.p, other.alpha, other.eps)
+	}
+	switch {
+	case h.cm != nil && other.cm != nil:
+		if err := h.cm.Merge(other.cm); err != nil {
+			return err
+		}
+	case h.mg != nil && other.mg != nil:
+		if err := h.mg.Merge(other.mg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: F1 heavy-hitter backends differ", sketch.ErrIncompatible)
+	}
+	h.observed += other.observed
+	h.retrack(other.tracker)
+	return nil
+}
+
+// retrack refreshes the candidate tracker after a sketch merge: the union
+// of both sides' candidates is re-scored against the merged sketch.
+func (h *F1HeavyHitters) retrack(foreign *sketch.TopK) {
+	estimate := func(it stream.Item) float64 {
+		if h.cm != nil {
+			return float64(h.cm.Estimate(it))
+		}
+		return float64(h.mg.Estimate(it))
+	}
+	for _, c := range foreign.Items() {
+		h.tracker.Update(c.Item, estimate(c.Item))
+	}
+	for _, c := range h.tracker.Items() {
+		h.tracker.Update(c.Item, estimate(c.Item))
+	}
+}
+
+// Merge folds other into h, exactly like F1HeavyHitters.Merge but over
+// the linear CountSketch.
+func (h *F2HeavyHitters) Merge(other *F2HeavyHitters) error {
+	if h.p != other.p || h.alpha != other.alpha || h.eps != other.eps {
+		return fmt.Errorf("%w: F2HeavyHitters (P=%g,α=%g,ε=%g) vs (P=%g,α=%g,ε=%g)",
+			sketch.ErrIncompatible, h.p, h.alpha, h.eps, other.p, other.alpha, other.eps)
+	}
+	if err := h.cs.Merge(other.cs); err != nil {
+		return err
+	}
+	h.nL += other.nL
+	for _, c := range other.tracker.Items() {
+		if est := h.cs.Estimate(c.Item); est > 0 {
+			h.tracker.Update(c.Item, float64(est))
+		}
+	}
+	for _, c := range h.tracker.Items() {
+		if est := h.cs.Estimate(c.Item); est > 0 {
+			h.tracker.Update(c.Item, float64(est))
+		}
+	}
+	return nil
+}
+
+// Merge folds other into m, merging every enabled estimator pairwise.
+// Both monitors must enable the same estimators with identical
+// configurations and construction seeds.
+func (m *Monitor) Merge(other *Monitor) error {
+	if m.p != other.p {
+		return fmt.Errorf("%w: Monitor P %g vs %g", sketch.ErrIncompatible, m.p, other.p)
+	}
+	if (m.fk == nil) != (other.fk == nil) || (m.f0 == nil) != (other.f0 == nil) ||
+		(m.entropy == nil) != (other.entropy == nil) ||
+		(m.hh1 == nil) != (other.hh1 == nil) || (m.hh2 == nil) != (other.hh2 == nil) {
+		return fmt.Errorf("%w: Monitors enable different estimators", sketch.ErrIncompatible)
+	}
+	if m.fk != nil {
+		if err := m.fk.Merge(other.fk); err != nil {
+			return err
+		}
+	}
+	if m.f0 != nil {
+		if err := m.f0.Merge(other.f0); err != nil {
+			return err
+		}
+	}
+	if m.entropy != nil {
+		if err := m.entropy.Merge(other.entropy); err != nil {
+			return err
+		}
+	}
+	if m.hh1 != nil {
+		if err := m.hh1.Merge(other.hh1); err != nil {
+			return err
+		}
+	}
+	if m.hh2 != nil {
+		if err := m.hh2.Merge(other.hh2); err != nil {
+			return err
+		}
+	}
+	m.nL += other.nL
+	return nil
+}

@@ -1,0 +1,216 @@
+package levelset
+
+import (
+	"fmt"
+
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// This file makes the collision counters mergeable and batchable, which
+// is what lets Algorithm 1 run sharded: Bernoulli sampling commutes with
+// partitioning the stream, so per-shard counters over disjoint substreams
+// of L can be folded into one counter whose estimates concern all of L.
+// As with the sketches, mergeability requires both sides to be built from
+// generators at identical state (seed both constructors identically);
+// hash agreement is verified with probe keys rather than trusted.
+
+// mergeProbes are fixed keys used to verify two estimators share
+// universe-sampling hash functions.
+var mergeProbes = [4]uint64{0x9e3779b97f4a7c15, 1, 1 << 40, 0xdeadbeef}
+
+// MergeableCounter is a CollisionCounter that can fold another counter of
+// the same concrete type into itself. All three counters in this package
+// satisfy it; core.FkEstimator.Merge discovers it dynamically.
+type MergeableCounter interface {
+	CollisionCounter
+	MergeCounter(other CollisionCounter) error
+}
+
+// BatchCounter is a CollisionCounter with a batched update path.
+type BatchCounter interface {
+	CollisionCounter
+	UpdateBatch(items []stream.Item)
+}
+
+// Merge folds other into c. Exact counters over disjoint substreams merge
+// exactly: frequency vectors add.
+func (c *ExactCounter) Merge(other *ExactCounter) error {
+	for it, cnt := range other.counts {
+		c.counts[it] += cnt
+	}
+	c.n += other.n
+	return nil
+}
+
+// MergeCounter implements MergeableCounter.
+func (c *ExactCounter) MergeCounter(other CollisionCounter) error {
+	o, ok := other.(*ExactCounter)
+	if !ok {
+		return fmt.Errorf("%w: ExactCounter vs %T", sketch.ErrIncompatible, other)
+	}
+	return c.Merge(o)
+}
+
+// UpdateBatch feeds every item in items.
+func (c *ExactCounter) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		c.counts[it]++
+	}
+	c.n += uint64(len(items))
+}
+
+// Merge folds other into e. Both sides must be constructed from identical
+// generator state (same ε′, budget, repetition count, band offset η, and
+// universe hashes).
+//
+// The merge is sound shard-by-shard: the heavy SpaceSaving summaries
+// merge with the standard bounded-error rule, and each light repetition
+// merges exactly. For the light part, an item's sampling level is fixed
+// by its (shared) hash, and each side's tracked count is its exact
+// frequency in that side's substream. Taking T = max(T_a, T_b) and
+// dropping items below it leaves only items that were tracked for their
+// whole lifetime on *both* sides — a tracked item absent from the other
+// side's map either never appeared there (contributing zero) or sits
+// below the merged threshold (and is dropped) — so surviving counts add
+// exactly, and the merged repetition is the state a single monitor with
+// threshold T would have reached over the concatenated substream.
+func (e *Estimator) Merge(other *Estimator) error {
+	if e.epsPrime != other.epsPrime || e.budget != other.budget || len(e.reps) != len(other.reps) {
+		return fmt.Errorf("%w: levelset shape (eps'=%g,budget=%d,reps=%d) vs (eps'=%g,budget=%d,reps=%d)",
+			sketch.ErrIncompatible, e.epsPrime, e.budget, len(e.reps),
+			other.epsPrime, other.budget, len(other.reps))
+	}
+	if e.eta != other.eta {
+		return fmt.Errorf("%w: levelset band offsets differ", sketch.ErrIncompatible)
+	}
+	for i := range e.reps {
+		for _, probe := range mergeProbes {
+			if e.reps[i].hash.Hash(probe) != other.reps[i].hash.Hash(probe) {
+				return fmt.Errorf("%w: levelset universe hashes differ (rep %d)", sketch.ErrIncompatible, i)
+			}
+		}
+	}
+	if err := e.heavy.Merge(other.heavy); err != nil {
+		return err
+	}
+	for i := range e.reps {
+		e.reps[i].merge(other.reps[i])
+	}
+	return nil
+}
+
+func (rs *repState) merge(os *repState) {
+	if os.T > rs.T {
+		rs.T = os.T
+		for it, tr := range rs.counts {
+			if int(tr.level) < rs.T {
+				delete(rs.counts, it)
+			}
+		}
+	}
+	for it, tr := range os.counts {
+		if int(tr.level) < rs.T {
+			continue
+		}
+		if mine, ok := rs.counts[it]; ok {
+			mine.count += tr.count
+			rs.counts[it] = mine
+		} else {
+			rs.counts[it] = tr
+		}
+	}
+	for len(rs.counts) > rs.budget && rs.T < maxLevel {
+		rs.T++
+		for it, tr := range rs.counts {
+			if int(tr.level) < rs.T {
+				delete(rs.counts, it)
+			}
+		}
+	}
+}
+
+// MergeCounter implements MergeableCounter.
+func (e *Estimator) MergeCounter(other CollisionCounter) error {
+	o, ok := other.(*Estimator)
+	if !ok {
+		return fmt.Errorf("%w: levelset Estimator vs %T", sketch.ErrIncompatible, other)
+	}
+	return e.Merge(o)
+}
+
+// UpdateBatch feeds every item in items: the heavy summary first, then
+// each repetition scans the whole batch, keeping one map hot at a time.
+func (e *Estimator) UpdateBatch(items []stream.Item) {
+	e.heavy.UpdateBatch(items)
+	for _, rs := range e.reps {
+		for _, it := range items {
+			rs.observe(it)
+		}
+	}
+}
+
+// Merge folds other into e. Both sides must share shape, band offset, and
+// all hash functions (construct from identical generator state). Level
+// CountSketches merge exactly (linearity); candidate sets merge by
+// re-querying the merged sketch for the union of candidates.
+func (e *IWEstimator) Merge(other *IWEstimator) error {
+	if e.epsPrime != other.epsPrime || len(e.levels) != len(other.levels) {
+		return fmt.Errorf("%w: IW shape (eps'=%g,levels=%d) vs (eps'=%g,levels=%d)",
+			sketch.ErrIncompatible, e.epsPrime, len(e.levels), other.epsPrime, len(other.levels))
+	}
+	if e.eta != other.eta {
+		return fmt.Errorf("%w: IW band offsets differ", sketch.ErrIncompatible)
+	}
+	for _, probe := range mergeProbes {
+		if e.universe.Hash(probe) != other.universe.Hash(probe) {
+			return fmt.Errorf("%w: IW universe hashes differ", sketch.ErrIncompatible)
+		}
+	}
+	for t := range e.levels {
+		if err := e.levels[t].cs.Merge(other.levels[t].cs); err != nil {
+			return err
+		}
+	}
+	for t := range e.levels {
+		lvl := &e.levels[t]
+		lvl.count += other.levels[t].count
+		for _, c := range other.levels[t].cands.Items() {
+			if est := lvl.cs.Estimate(c.Item); est > 0 {
+				lvl.cands.Update(c.Item, float64(est))
+			}
+		}
+		for _, c := range lvl.cands.Items() {
+			if est := lvl.cs.Estimate(c.Item); est > 0 {
+				lvl.cands.Update(c.Item, float64(est))
+			}
+		}
+	}
+	e.nL += other.nL
+	return nil
+}
+
+// MergeCounter implements MergeableCounter.
+func (e *IWEstimator) MergeCounter(other CollisionCounter) error {
+	o, ok := other.(*IWEstimator)
+	if !ok {
+		return fmt.Errorf("%w: IWEstimator vs %T", sketch.ErrIncompatible, other)
+	}
+	return e.Merge(o)
+}
+
+// UpdateBatch feeds every item in items.
+func (e *IWEstimator) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		e.Observe(it)
+	}
+}
+
+var (
+	_ MergeableCounter = (*ExactCounter)(nil)
+	_ MergeableCounter = (*Estimator)(nil)
+	_ MergeableCounter = (*IWEstimator)(nil)
+	_ BatchCounter     = (*ExactCounter)(nil)
+	_ BatchCounter     = (*Estimator)(nil)
+	_ BatchCounter     = (*IWEstimator)(nil)
+)

@@ -1,0 +1,52 @@
+// Package pipeline is the sharded, concurrent ingestion layer: it fans a
+// stream of items out to N shard workers over batched channels, runs an
+// independent estimator replica per shard, and merges the per-shard
+// states into a single estimate on demand.
+//
+// # Why sharding is sound here
+//
+// Every estimator in this library observes a Bernoulli-sampled stream L
+// and estimates a statistic of the original stream P. Bernoulli sampling
+// commutes with partitioning: splitting P into substreams P₁ … P_N and
+// sampling each at rate p yields substreams L₁ … L_N whose union is
+// distributed exactly like a single sample L of P, because each element's
+// coin flip is independent of every other element's. The paper's
+// statistics (frequency moments, F₀, entropy, heavy hitters) are
+// functions of the frequency vector alone, so any partitioning — the
+// pipeline uses round-robin batches — preserves them. Per-shard summaries
+// therefore merge into the summary a single monitor would have built:
+// exactly for the linear and order-insensitive backends (CountMin,
+// CountSketch, KMV, HLL, exact collision counters, plugin entropy), and
+// with the standard bounded error for the counter-based ones
+// (SpaceSaving, Misra–Gries). This is the same pattern distributed
+// stream-monitoring systems exploit ("Boosting the Basic Counting on
+// Distributed Streams"; Cohen et al.'s per-flow aggregation).
+//
+// # Topology
+//
+//	            ┌─ chan [][]Item ─ worker 0 ─ replica E₀ ─┐
+//	feeder ──┼─ chan [][]Item ─ worker 1 ─ replica E₁ ─┼── Merge → estimate
+//	            └─ chan [][]Item ─ worker N ─ replica E_N ┘
+//
+// The feeder accumulates items into batches of Config.BatchSize and
+// deals complete batches round-robin to per-shard channels; workers
+// apply each batch through the estimator's UpdateBatch fast path (or
+// per-item Observe when the type has no batch path). With
+// Config.SampleP > 0 the pipeline ingests the ORIGINAL stream and each
+// worker Bernoulli-samples its shard locally with an independent,
+// deterministically seeded generator — the deployment of the paper's
+// sampled-NetFlow monitor, with the sampling cost spread across cores.
+//
+// # Mergeability contract
+//
+// Merging requires structurally identical replicas: the factory passed to
+// New must construct every replica with the same configuration and a
+// generator seeded identically (e.g. rng.New(fixedSeed) per call, as in
+// examples/distributed). The estimators verify this at merge time and
+// return sketch.ErrIncompatible when violated.
+//
+// Feeding is single-producer: Feed/FeedSlice/FeedStream must be called
+// from one goroutine. Shard workers never share state; all
+// synchronization is channel hand-off, so the package is race-clean under
+// `go test -race`.
+package pipeline

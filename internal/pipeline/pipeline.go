@@ -1,0 +1,285 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// Observer is the minimal per-item ingestion interface; every estimator
+// in internal/core, internal/sketch, and internal/levelset satisfies it.
+type Observer interface {
+	Observe(it stream.Item)
+}
+
+// BatchObserver is the batched fast path; shard workers prefer it over
+// Observer when the replica type provides it.
+type BatchObserver interface {
+	UpdateBatch(items []stream.Item)
+}
+
+// Mergeable is satisfied by estimator types that can fold a structurally
+// identical replica into themselves — the contract MergeAll reduces over.
+type Mergeable[E any] interface {
+	Merge(other E) error
+}
+
+// Config shapes a Pipeline.
+type Config struct {
+	// Shards is the number of workers (and estimator replicas).
+	// Default runtime.GOMAXPROCS(0).
+	Shards int
+	// BatchSize is the number of items handed to a worker at once.
+	// Larger batches amortize channel and dispatch overhead; smaller
+	// ones bound merge-time staleness. Default 1024.
+	BatchSize int
+	// QueueDepth is the number of batches buffered per shard channel
+	// before the feeder blocks (backpressure). Default 8.
+	QueueDepth int
+	// SampleP, when positive, makes the pipeline ingest the ORIGINAL
+	// stream: each worker Bernoulli-samples its shard at this rate
+	// before updating its replica, using an independent generator
+	// derived from Seed. When zero, the fed stream is assumed to be the
+	// (already sampled) stream the estimators expect.
+	SampleP float64
+	// Seed derives the per-worker sampling generators. Default 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1024
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// batchMsg is one unit of work. Pooled buffers are recycled by the worker
+// after application; caller-owned slices (zero-copy FeedSlice path) are
+// not touched.
+type batchMsg struct {
+	items  []stream.Item
+	pooled bool
+}
+
+// Pipeline fans a single feed out to per-shard estimator replicas of type
+// E. Feeding is single-producer; Close (or Reduce/MergeAll) must be
+// called exactly once to stop the workers and collect the replicas.
+type Pipeline[E any] struct {
+	cfg    Config
+	shards []E
+	chans  []chan batchMsg
+	wg     sync.WaitGroup
+	pool   sync.Pool
+	buf    []stream.Item
+	next   int    // round-robin cursor
+	fed    uint64 // items fed by the producer
+	kept   []atomic.Uint64
+	closed bool
+}
+
+// New builds a pipeline whose shard replicas are produced by newShard
+// (called once per shard with the shard index). The replica type must
+// implement BatchObserver or Observer; New panics otherwise. For the
+// replicas to be mergeable afterwards, newShard must build every replica
+// from identical configuration and generator state.
+func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
+	cfg = cfg.withDefaults()
+	p := &Pipeline[E]{
+		cfg:    cfg,
+		shards: make([]E, cfg.Shards),
+		chans:  make([]chan batchMsg, cfg.Shards),
+		kept:   make([]atomic.Uint64, cfg.Shards),
+	}
+	p.pool.New = func() any { return make([]stream.Item, 0, cfg.BatchSize) }
+	p.buf = p.pool.Get().([]stream.Item)
+
+	master := rng.New(cfg.Seed)
+	for i := 0; i < cfg.Shards; i++ {
+		p.shards[i] = newShard(i)
+		apply := applyFunc(p.shards[i])
+		p.chans[i] = make(chan batchMsg, cfg.QueueDepth)
+
+		var coins *rng.Xoshiro256
+		if cfg.SampleP > 0 {
+			coins = master.Split()
+		}
+		p.wg.Add(1)
+		go p.work(i, p.chans[i], apply, coins)
+	}
+	return p
+}
+
+// applyFunc resolves the per-batch application path for a replica.
+func applyFunc(e any) func([]stream.Item) {
+	switch x := e.(type) {
+	case BatchObserver:
+		return x.UpdateBatch
+	case Observer:
+		return func(items []stream.Item) {
+			for _, it := range items {
+				x.Observe(it)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("pipeline: replica type %T implements neither BatchObserver nor Observer", e))
+	}
+}
+
+// work is one shard worker: it owns its replica exclusively until Close
+// returns, so no locking is needed around estimator state.
+func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.Item), coins *rng.Xoshiro256) {
+	defer p.wg.Done()
+	var scratch []stream.Item
+	if coins != nil {
+		scratch = make([]stream.Item, 0, p.cfg.BatchSize)
+	}
+	for msg := range ch {
+		items := msg.items
+		if coins != nil {
+			scratch = scratch[:0]
+			for _, it := range items {
+				if coins.Float64() < p.cfg.SampleP {
+					scratch = append(scratch, it)
+				}
+			}
+			items = scratch
+		}
+		p.kept[shard].Add(uint64(len(items)))
+		if len(items) > 0 {
+			apply(items)
+		}
+		if msg.pooled {
+			p.pool.Put(msg.items[:0])
+		}
+	}
+}
+
+// dispatch hands one batch to the next shard round-robin.
+func (p *Pipeline[E]) dispatch(msg batchMsg) {
+	p.chans[p.next] <- msg
+	p.next++
+	if p.next == len(p.chans) {
+		p.next = 0
+	}
+}
+
+// Feed ingests one item. It buffers into the current batch and dispatches
+// when the batch fills.
+func (p *Pipeline[E]) Feed(it stream.Item) {
+	if p.closed {
+		panic("pipeline: Feed after Close")
+	}
+	p.fed++
+	p.buf = append(p.buf, it)
+	if len(p.buf) == p.cfg.BatchSize {
+		p.dispatch(batchMsg{items: p.buf, pooled: true})
+		p.buf = p.pool.Get().([]stream.Item)
+	}
+}
+
+// FeedSlice ingests a materialized stream zero-copy: full batch-sized
+// windows of items are dispatched as sub-slices without copying, so the
+// caller must not mutate items until Close returns. The trailing partial
+// window goes through the buffered Feed path.
+func (p *Pipeline[E]) FeedSlice(items stream.Slice) {
+	if p.closed {
+		panic("pipeline: FeedSlice after Close")
+	}
+	b := p.cfg.BatchSize
+	// Flush any partial hand-fed batch first to preserve stream order
+	// within each shard's view.
+	i := 0
+	for len(p.buf) > 0 && i < len(items) {
+		p.Feed(items[i])
+		i++
+	}
+	for ; i+b <= len(items); i += b {
+		p.fed += uint64(b)
+		p.dispatch(batchMsg{items: items[i : i+b]})
+	}
+	for ; i < len(items); i++ {
+		p.Feed(items[i])
+	}
+}
+
+// FeedStream ingests every item of s through the batching Feed path.
+func (p *Pipeline[E]) FeedStream(s stream.Stream) {
+	_ = s.ForEach(func(it stream.Item) error {
+		p.Feed(it)
+		return nil
+	})
+}
+
+// Flush dispatches the buffered partial batch, if any.
+func (p *Pipeline[E]) Flush() {
+	if len(p.buf) > 0 {
+		p.dispatch(batchMsg{items: p.buf, pooled: true})
+		p.buf = p.pool.Get().([]stream.Item)
+	}
+}
+
+// Close flushes, stops all workers, waits for every queued batch to be
+// applied, and returns the shard replicas. After Close the replicas are
+// exclusively owned by the caller (workers have exited), so reading or
+// merging them is race-free. Close is idempotent.
+func (p *Pipeline[E]) Close() []E {
+	if !p.closed {
+		p.Flush()
+		for _, ch := range p.chans {
+			close(ch)
+		}
+		p.wg.Wait()
+		p.closed = true
+	}
+	return p.shards
+}
+
+// Reduce closes the pipeline and folds all shard replicas into the first
+// one with merge, returning the merged replica.
+func (p *Pipeline[E]) Reduce(merge func(dst, src E) error) (E, error) {
+	shards := p.Close()
+	dst := shards[0]
+	for _, src := range shards[1:] {
+		if err := merge(dst, src); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// Fed returns the number of items ingested by the producer so far.
+func (p *Pipeline[E]) Fed() uint64 { return p.fed }
+
+// Kept returns the number of items that reached the estimators: equal to
+// Fed when SampleP is zero, the post-sampling count otherwise. It is safe
+// to call while feeding (for progress reporting), in which case the value
+// trails the workers; after Close it is exact.
+func (p *Pipeline[E]) Kept() uint64 {
+	var total uint64
+	for i := range p.kept {
+		total += p.kept[i].Load()
+	}
+	return total
+}
+
+// NumShards returns the shard count.
+func (p *Pipeline[E]) NumShards() int { return len(p.chans) }
+
+// MergeAll closes the pipeline and folds every shard replica into the
+// first via the type's own Merge method.
+func MergeAll[E Mergeable[E]](p *Pipeline[E]) (E, error) {
+	return p.Reduce(func(dst, src E) error { return dst.Merge(src) })
+}

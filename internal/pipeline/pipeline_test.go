@@ -1,0 +1,177 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// countReplica counts items per shard through the Observe path.
+type countReplica struct{ n uint64 }
+
+func (c *countReplica) Observe(stream.Item) { c.n++ }
+
+// batchReplica counts items through the UpdateBatch path and records the
+// batch sizes it saw.
+type batchReplica struct {
+	n       uint64
+	batches int
+	maxLen  int
+}
+
+func (b *batchReplica) UpdateBatch(items []stream.Item) {
+	b.n += uint64(len(items))
+	b.batches++
+	if len(items) > b.maxLen {
+		b.maxLen = len(items)
+	}
+}
+
+func zipfSlice(n int, seed uint64) stream.Slice {
+	return stream.Collect(workload.Zipf(n, 4096, 1.2, seed).Stream)
+}
+
+func TestFeedDeliversEveryItemOnce(t *testing.T) {
+	const n = 10_000
+	p := New(Config{Shards: 4, BatchSize: 64}, func(int) *countReplica { return &countReplica{} })
+	for i := 0; i < n; i++ {
+		p.Feed(stream.Item(i%97 + 1))
+	}
+	shards := p.Close()
+	var total uint64
+	for _, s := range shards {
+		total += s.n
+	}
+	if total != n {
+		t.Fatalf("delivered %d items, want %d", total, n)
+	}
+	if p.Fed() != n || p.Kept() != n {
+		t.Fatalf("Fed=%d Kept=%d, want %d", p.Fed(), p.Kept(), n)
+	}
+}
+
+func TestFeedSliceZeroCopyAndMixedFeeding(t *testing.T) {
+	const n = 9_999 // deliberately not a multiple of the batch size
+	items := zipfSlice(n, 3)
+	p := New(Config{Shards: 3, BatchSize: 128}, func(int) *batchReplica { return &batchReplica{} })
+	p.Feed(items[0]) // partial hand-fed batch before the bulk path
+	p.FeedSlice(items[1:])
+	shards := p.Close()
+	var total uint64
+	for _, s := range shards {
+		total += s.n
+		if s.maxLen > 128 {
+			t.Fatalf("worker saw batch of %d > BatchSize 128", s.maxLen)
+		}
+	}
+	if total != n {
+		t.Fatalf("delivered %d items, want %d", total, n)
+	}
+}
+
+func TestInShardSampling(t *testing.T) {
+	const (
+		n = 200_000
+		q = 0.1
+	)
+	items := zipfSlice(n, 4)
+	p := New(Config{Shards: 4, BatchSize: 512, SampleP: q, Seed: 11},
+		func(int) *countReplica { return &countReplica{} })
+	p.FeedSlice(items)
+	shards := p.Close()
+	var kept uint64
+	for _, s := range shards {
+		kept += s.n
+	}
+	if kept != p.Kept() {
+		t.Fatalf("Kept()=%d disagrees with shard totals %d", p.Kept(), kept)
+	}
+	mean := float64(n) * q
+	sd := math.Sqrt(float64(n) * q * (1 - q))
+	if math.Abs(float64(kept)-mean) > 6*sd {
+		t.Fatalf("sampled %d items, want %.0f ± %.0f", kept, mean, 6*sd)
+	}
+
+	// Same seed → same sample; different seed → (almost surely) different.
+	again := New(Config{Shards: 4, BatchSize: 512, SampleP: q, Seed: 11},
+		func(int) *countReplica { return &countReplica{} })
+	again.FeedSlice(items)
+	again.Close()
+	if again.Kept() != kept {
+		t.Fatalf("same seed kept %d then %d", kept, again.Kept())
+	}
+	other := New(Config{Shards: 4, BatchSize: 512, SampleP: q, Seed: 12},
+		func(int) *countReplica { return &countReplica{} })
+	other.FeedSlice(items)
+	other.Close()
+	if other.Kept() == kept {
+		t.Fatalf("independent seeds produced identical sample sizes %d (suspicious)", kept)
+	}
+}
+
+func TestDefaultsAndCloseIdempotent(t *testing.T) {
+	p := New(Config{}, func(int) *countReplica { return &countReplica{} })
+	if p.NumShards() < 1 {
+		t.Fatalf("NumShards = %d", p.NumShards())
+	}
+	p.Feed(1)
+	first := p.Close()
+	second := p.Close()
+	if &first[0] != &second[0] {
+		t.Fatal("Close not idempotent")
+	}
+}
+
+func TestNewPanicsOnNonObserver(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for replica type without Observe/UpdateBatch")
+		}
+	}()
+	New(Config{Shards: 1}, func(int) int { return 0 })
+}
+
+type mergeReplica struct {
+	n      uint64
+	merged int
+}
+
+func (m *mergeReplica) Observe(stream.Item) { m.n++ }
+func (m *mergeReplica) Merge(other *mergeReplica) error {
+	m.n += other.n
+	m.merged++
+	return nil
+}
+
+func TestMergeAllFoldsEveryShard(t *testing.T) {
+	const n = 5_000
+	p := New(Config{Shards: 4, BatchSize: 32}, func(int) *mergeReplica { return &mergeReplica{} })
+	for i := 0; i < n; i++ {
+		p.Feed(stream.Item(i + 1))
+	}
+	merged, err := MergeAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.n != n {
+		t.Fatalf("merged count %d, want %d", merged.n, n)
+	}
+	if merged.merged != 3 {
+		t.Fatalf("merged %d replicas, want 3", merged.merged)
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	const n = 1 << 14
+	p := New(Config{Shards: 4, BatchSize: 64}, func(int) *countReplica { return &countReplica{} })
+	p.FeedSlice(zipfSlice(n, 5))
+	shards := p.Close()
+	for i, s := range shards {
+		frac := float64(s.n) / float64(n)
+		if frac < 0.2 || frac > 0.3 { // perfect split is 0.25
+			t.Fatalf("shard %d holds %.0f%% of the stream, want ≈25%%", i, 100*frac)
+		}
+	}
+}

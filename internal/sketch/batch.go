@@ -1,0 +1,103 @@
+package sketch
+
+import "substream/internal/stream"
+
+// This file adds batched update paths. UpdateBatch(items) is semantically
+// equivalent to calling Observe on each item in order, but amortizes the
+// per-item costs that dominate high-throughput ingestion: interface
+// dispatch at the call site, and — for the table-based sketches — hash
+// and row bookkeeping, which the batch loops reorganize row-major so each
+// hash function and table row stays hot across the whole batch.
+//
+// The sharded ingestion pipeline (internal/pipeline) feeds estimators
+// exclusively through this path.
+
+// UpdateBatch records one occurrence of every item in items. It is
+// equivalent to (but faster than) calling Observe per item: the loop runs
+// row-major, so one hash function and one table row are reused across the
+// whole batch.
+func (cm *CountMin) UpdateBatch(items []stream.Item) {
+	for row := 0; row < cm.depth; row++ {
+		h := cm.hashes[row]
+		base := row * cm.width
+		for _, it := range items {
+			cm.table[base+h.Bucket(uint64(it), cm.width)]++
+		}
+	}
+	cm.n += uint64(len(items))
+}
+
+// UpdateBatch records one occurrence of every item in items, row-major
+// like CountMin.UpdateBatch.
+func (cs *CountSketch) UpdateBatch(items []stream.Item) {
+	for row := 0; row < cs.depth; row++ {
+		bucket, sign := cs.buckets[row], cs.signs[row]
+		base := row * cs.width
+		for _, it := range items {
+			cs.table[base+bucket.Bucket(uint64(it), cs.width)] += int64(sign.Sign(uint64(it)))
+		}
+	}
+	cs.n += uint64(len(items))
+}
+
+// UpdateBatch records one occurrence of every item in items,
+// counter-major so each sign function stays in registers across the
+// batch.
+func (a *AMS) UpdateBatch(items []stream.Item) {
+	for i := range a.counters {
+		sign := a.signs[i]
+		var acc int64
+		for _, it := range items {
+			acc += int64(sign.Sign(uint64(it)))
+		}
+		a.counters[i] += acc
+	}
+}
+
+// UpdateBatch feeds every item in items.
+func (s *KMV) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		s.Observe(it)
+	}
+}
+
+// UpdateBatch feeds every item in items.
+func (h *HLL) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		h.Observe(it)
+	}
+}
+
+// UpdateBatch feeds every item in items.
+func (mg *MisraGries) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		mg.Observe(it)
+	}
+}
+
+// UpdateBatch feeds every item in items.
+func (ss *SpaceSaving) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		ss.Observe(it)
+	}
+}
+
+// UpdateBatch feeds every item in items, probe-major: each reservoir
+// probe's state stays in registers while it scans the batch.
+func (e *EntropyEstimator) UpdateBatch(items []stream.Item) {
+	n := e.n
+	for probe := range e.items {
+		cur, cnt := e.items[probe], e.counts[probe]
+		pos := n
+		for _, it := range items {
+			pos++
+			if e.r.Uint64n(pos) == 0 {
+				cur, cnt = it, 1
+			} else if cur == it && cnt > 0 {
+				cnt++
+			}
+		}
+		e.items[probe], e.counts[probe] = cur, cnt
+	}
+	e.n = n + uint64(len(items))
+}

@@ -3,6 +3,9 @@ package sketch
 import (
 	"errors"
 	"fmt"
+	"sort"
+
+	"substream/internal/stream"
 )
 
 // This file adds distributed merging: several monitors (e.g. line cards
@@ -167,6 +170,70 @@ func (mg *MisraGries) Merge(other *MisraGries) error {
 			mg.counters[it] = c - kth
 		}
 	}
+	return nil
+}
+
+// Merge folds other into ss with the Agarwal et al. ("Mergeable
+// Summaries") rule. For an item tracked on both sides, counts and errors
+// add. For an item tracked on one side only, the other side bounds its
+// count by that side's minimum counter (0 if the side still has spare
+// capacity, in which case absence means a true zero), so the merged entry
+// inherits that bound as both count mass and error. The result is trimmed
+// back to the k largest counters. Every per-item invariant survives:
+// f ∈ [Count−Err, Count], and the global error stays ≤ N_total/k.
+func (ss *SpaceSaving) Merge(other *SpaceSaving) error {
+	if ss.k != other.k {
+		return fmt.Errorf("%w: SpaceSaving k %d vs %d", ErrIncompatible, ss.k, other.k)
+	}
+	floorOf := func(s *SpaceSaving) uint64 {
+		if len(s.h) < s.k {
+			return 0 // spare capacity: untracked means never seen
+		}
+		return s.h[0].count
+	}
+	floorA, floorB := floorOf(ss), floorOf(other)
+	merged := make(map[stream.Item]ssEntry, len(ss.h)+len(other.h))
+	for _, e := range ss.h {
+		merged[e.item] = e
+	}
+	for _, e := range other.h {
+		if a, ok := merged[e.item]; ok {
+			a.count += e.count
+			a.err += e.err
+			merged[e.item] = a
+		} else {
+			merged[e.item] = ssEntry{item: e.item, count: e.count + floorA, err: e.err + floorA}
+		}
+	}
+	for _, e := range ss.h {
+		if !other.Tracked(e.item) {
+			a := merged[e.item]
+			a.count += floorB
+			a.err += floorB
+			merged[e.item] = a
+		}
+	}
+	entries := make([]ssEntry, 0, len(merged))
+	for _, e := range merged {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].count != entries[j].count {
+			return entries[i].count > entries[j].count
+		}
+		return entries[i].item < entries[j].item
+	})
+	if len(entries) > ss.k {
+		entries = entries[:ss.k]
+	}
+	ss.h = ss.h[:0]
+	ss.index = make(map[stream.Item]int, ss.k)
+	for _, e := range entries {
+		ss.h = append(ss.h, e)
+		ss.index[e.item] = len(ss.h) - 1
+		ss.up(len(ss.h) - 1)
+	}
+	ss.n += other.n
 	return nil
 }
 

@@ -7,7 +7,12 @@
 package substream_bench
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"substream/internal/core"
@@ -15,6 +20,7 @@ import (
 	"substream/internal/pipeline"
 	"substream/internal/rng"
 	"substream/internal/sample"
+	"substream/internal/server"
 	"substream/internal/stream"
 	"substream/internal/workload"
 )
@@ -208,6 +214,65 @@ func BenchmarkPipelineBatchVsObserve(b *testing.B) {
 				e.UpdateBatch(L[off:end])
 			}
 		}
+	})
+}
+
+// --- network monitoring daemon (internal/server) ---
+
+// benchmarkServerIngest measures the daemon's end-to-end ingest path:
+// HTTP request in, body decode, pipeline dispatch, in-shard Bernoulli
+// sampling, estimator update. One op is one 4096-item batch over a real
+// (loopback) connection; bytes/sec is raw item payload throughput.
+func benchmarkServerIngest(b *testing.B, contentType string, encode func(stream.Slice) []byte) {
+	agent := server.NewAgent(server.AgentConfig{ID: "bench"})
+	defer agent.Close()
+	if err := agent.CreateStream("traffic", server.StreamConfig{
+		Stat: "fk", K: 2, P: 0.05, Seed: 9, Exact: true, Shards: 4, Batch: 1024, SampleSeed: 7,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(agent.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/streams/traffic/ingest"
+
+	const batchItems = 4096
+	wl := workload.Zipf(batchItems, 65536, 1.1, 3)
+	body := encode(stream.Collect(wl.Stream))
+
+	b.SetBytes(8 * batchItems)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest returned %s", resp.Status)
+		}
+	}
+}
+
+func BenchmarkServerIngest(b *testing.B) {
+	b.Run("binary", func(b *testing.B) {
+		benchmarkServerIngest(b, server.ContentTypeBinary, func(items stream.Slice) []byte {
+			buf := make([]byte, 8*len(items))
+			for i, it := range items {
+				binary.LittleEndian.PutUint64(buf[i*8:], uint64(it))
+			}
+			return buf
+		})
+	})
+	b.Run("text", func(b *testing.B) {
+		benchmarkServerIngest(b, server.ContentTypeText, func(items stream.Slice) []byte {
+			var sb bytes.Buffer
+			for _, it := range items {
+				fmt.Fprintln(&sb, uint64(it))
+			}
+			return sb.Bytes()
+		})
 	})
 }
 

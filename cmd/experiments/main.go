@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -19,26 +21,50 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		// Flag-parse failures were already reported (with usage) by the
+		// FlagSet on stderr; don't print them twice.
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errUsage marks flag-parse failures the FlagSet has already reported.
+var errUsage = errors.New("usage error")
+
+// run parses args and executes the selected experiments, writing every
+// table to w and diagnostics (usage, flag errors) to errW. Split from
+// main so the smoke test can drive the whole pipeline in-process.
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		run    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		scale  = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full run)")
-		trials = flag.Int("trials", 0, "override trials per cell (0 = per-experiment default)")
-		seed   = flag.Uint64("seed", 24067, "master seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		par    = flag.Bool("parallel", false, "run experiments concurrently (output buffered per experiment)")
+		runIDs = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale  = fs.Float64("scale", 1.0, "workload scale factor (1.0 = full run)")
+		trials = fs.Int("trials", 0, "override trials per cell (0 = per-experiment default)")
+		seed   = fs.Uint64("seed", 24067, "master seed")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		par    = fs.Bool("parallel", false, "run experiments concurrently (output buffered per experiment)")
 	)
-	flag.Parse()
+	fs.SetOutput(errW)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful exit, not an error
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Fprintf(w, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return nil
 	}
 
 	want := map[string]bool{}
-	if *run != "" {
-		for _, id := range strings.Split(*run, ",") {
+	if *runIDs != "" {
+		for _, id := range strings.Split(*runIDs, ",") {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
@@ -52,8 +78,7 @@ func main() {
 		selected = append(selected, e)
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q; use -list\n", *run)
-		os.Exit(1)
+		return fmt.Errorf("no experiments matched -run=%q; use -list", *runIDs)
 	}
 
 	outputs := make([]string, len(selected))
@@ -79,12 +104,13 @@ func main() {
 		}
 		wg.Wait()
 		for _, out := range outputs {
-			fmt.Print(out)
+			fmt.Fprint(w, out)
 		}
 	} else {
 		for i := range selected {
 			runOne(i)
-			fmt.Print(outputs[i])
+			fmt.Fprint(w, outputs[i])
 		}
 	}
+	return nil
 }

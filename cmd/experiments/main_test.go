@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentSmoke(t *testing.T) {
+	var out strings.Builder
+	// A tiny-scale single-trial run of one experiment exercises the whole
+	// selection/config/render path without taking benchmark-scale time.
+	if err := run([]string{"-run", "E3", "-scale", "0.05", "-trials", "1", "-seed", "9"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "=== E3") || !strings.Contains(out.String(), "completed in") {
+		t.Fatalf("unexpected run output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-run", "E99"}, &out, io.Discard); err == nil {
+		t.Fatal("unknown experiment ID accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scale", "banana"}, &out, io.Discard); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Command substreamd is the network monitoring daemon: the paper's
+// sampled-NetFlow topology as a long-running service (see
+// internal/server).
+//
+// Agent mode owns named streams, ingests item batches over HTTP,
+// Bernoulli-samples them in its sharded pipeline, and periodically ships
+// its cumulative estimator state to the collector:
+//
+//	substreamd -role agent -listen :8080 -upstream http://collector:8081 \
+//	           -id router-7 -flush 10s \
+//	           -streams '{"flows": {"stat": "f0", "p": 0.05, "seed": 42}}'
+//
+// Collector mode accepts shipped summaries and serves the merged global
+// estimate:
+//
+//	substreamd -role collector -listen :8081
+//
+// The -streams flag takes either inline JSON ({"name": {config...}}) or
+// a path to a JSON file of the same shape. Both roles serve /healthz and
+// /metricsz and shut down gracefully on SIGINT/SIGTERM (agents perform a
+// final flush first).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"substream/internal/server"
+)
+
+// options carries every CLI flag; tests drive run with a literal.
+type options struct {
+	role     string
+	listen   string
+	upstream string
+	id       string
+	flush    time.Duration
+	streams  string
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.role, "role", "agent", "daemon role: agent | collector")
+	flag.StringVar(&opt.listen, "listen", ":8080", "listen address")
+	flag.StringVar(&opt.upstream, "upstream", "", "collector base URL (agent mode)")
+	flag.StringVar(&opt.id, "id", "", "agent identity (default: hostname-pid)")
+	flag.DurationVar(&opt.flush, "flush", 10*time.Second, "summary shipping interval (agent mode)")
+	flag.StringVar(&opt.streams, "streams", "", "stream registry: inline JSON or a JSON file path (agent mode)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, opt, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "substreamd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseStreams reads the -streams spec: inline JSON or a file path.
+func parseStreams(spec string) (map[string]server.StreamConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	raw := []byte(spec)
+	if !strings.HasPrefix(strings.TrimSpace(spec), "{") {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("reading -streams file: %w", err)
+		}
+		raw = data
+	}
+	var out map[string]server.StreamConfig
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("parsing -streams: %w", err)
+	}
+	return out, nil
+}
+
+// run starts the daemon and blocks until ctx is canceled, then shuts
+// down gracefully. The bound address is printed to w so callers binding
+// port 0 can find the server.
+func run(ctx context.Context, opt options, w io.Writer) error {
+	switch opt.role {
+	case "agent":
+		return runAgent(ctx, opt, w)
+	case "collector":
+		return runCollector(ctx, opt, w)
+	default:
+		return fmt.Errorf("unknown role %q (want agent or collector)", opt.role)
+	}
+}
+
+func runCollector(ctx context.Context, opt options, w io.Writer) error {
+	collector := server.NewCollector()
+	srv, err := server.Start(opt.listen, collector.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "substreamd: collector listening on %s\n", srv.URL())
+	<-ctx.Done()
+	return shutdown(srv, w)
+}
+
+func runAgent(ctx context.Context, opt options, w io.Writer) error {
+	id := opt.id
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "agent"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	streams, err := parseStreams(opt.streams)
+	if err != nil {
+		return err
+	}
+	agent := server.NewAgent(server.AgentConfig{
+		ID:            id,
+		Upstream:      opt.upstream,
+		FlushInterval: opt.flush,
+		Logf:          log.Printf,
+	})
+	for name, cfg := range streams {
+		if err := agent.CreateStream(name, cfg); err != nil {
+			return fmt.Errorf("stream %q: %w", name, err)
+		}
+	}
+	srv, err := server.Start(opt.listen, agent.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "substreamd: agent %s listening on %s (upstream %q, %d streams)\n",
+		id, srv.URL(), opt.upstream, len(streams))
+
+	// Run drives periodic shipping in the background; on shutdown the
+	// HTTP server drains first (no ingest may race a closed pipeline),
+	// then the agent performs its final flush and pipeline teardown.
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- agent.Run(agentCtx) }()
+
+	<-ctx.Done()
+	shutdownErr := shutdown(srv, w)
+	stopAgent()
+	runErr := <-runDone
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	return runErr
+}
+
+func shutdown(srv *server.Server, w io.Writer) error {
+	fmt.Fprintln(w, "substreamd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

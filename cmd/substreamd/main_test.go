@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer the daemon goroutine and the test can share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var urlRe = regexp.MustCompile(`http://[0-9.:]+`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a stopper that performs the graceful shutdown and surfaces
+// run's error.
+func startDaemon(t *testing.T, opt options) (string, func() error) {
+	t.Helper()
+	opt.listen = "127.0.0.1:0"
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, opt, &out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if url := urlRe.FindString(out.String()); url != "" {
+			return url, func() error {
+				cancel()
+				select {
+				case err := <-errCh:
+					return err
+				case <-time.After(10 * time.Second):
+					return context.DeadlineExceeded
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon did not announce its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDaemonSmoke(t *testing.T) {
+	// Collector up first.
+	collectorURL, stopCollector := startDaemon(t, options{role: "collector"})
+
+	// Agent with one preconfigured stream, shipping to the collector.
+	agentURL, stopAgent := startDaemon(t, options{
+		role:     "agent",
+		id:       "smoke-agent",
+		upstream: collectorURL,
+		flush:    50 * time.Millisecond,
+		streams:  `{"flows": {"stat": "f0", "p": 0.5, "seed": 7, "presampled": true, "shards": 2}}`,
+	})
+
+	// Health on both roles.
+	for _, url := range []string{collectorURL, agentURL} {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz %s: status %d", url, resp.StatusCode)
+		}
+	}
+
+	// Ingest a few items and wait for a periodic flush to reach the
+	// collector.
+	resp, err := http.Post(agentURL+"/v1/streams/flows/ingest", "text/plain",
+		strings.NewReader("1\n2\n3\n2\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(collectorURL + "/v1/streams/flows/estimate")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var got struct {
+				Estimates struct {
+					Values map[string]float64 `json:"values"`
+				} `json:"estimates"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if got.Estimates.Values["f0_sampled"] == 3 {
+				break
+			}
+		} else if resp != nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("collector never served the shipped estimate")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Graceful shutdown, agent first (it performs a final flush).
+	if err := stopAgent(); err != nil {
+		t.Fatalf("agent shutdown: %v", err)
+	}
+	if err := stopCollector(); err != nil {
+		t.Fatalf("collector shutdown: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out syncBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, options{role: "supervisor"}, &out); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	if err := run(ctx, options{role: "agent", listen: "127.0.0.1:0", streams: "{bad json"}, &out); err == nil {
+		t.Fatal("bad streams JSON accepted")
+	}
+	if err := run(ctx, options{role: "agent", listen: "127.0.0.1:0", streams: "/no/such/file.json"}, &out); err == nil {
+		t.Fatal("missing streams file accepted")
+	}
+}
+
+func TestParseStreamsFile(t *testing.T) {
+	path := t.TempDir() + "/streams.json"
+	if err := os.WriteFile(path, []byte(`{"a": {"stat": "entropy", "p": 0.1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	streams, err := parseStreams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streams["a"].Stat != "entropy" || streams["a"].P != 0.1 {
+		t.Fatalf("parsed %+v", streams["a"])
+	}
+}

@@ -1,0 +1,156 @@
+// Agent/collector monitoring over HTTP: the cross-process version of
+// examples/distributed. Two agent daemons each observe half of the
+// original traffic, Bernoulli-sample it inside their sharded pipelines,
+// and ship serialized cumulative summaries to a collector daemon, which
+// folds them and answers for the WHOLE original stream — the paper's
+// sampled-NetFlow topology as three real HTTP services (in-process here
+// via httptest, but the wire traffic is genuine).
+//
+// Run: go run ./examples/agentcollector
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"substream/internal/rng"
+	"substream/internal/server"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+const (
+	agents  = 2
+	packets = 400000 // total original traffic across both monitors
+	p       = 0.05   // per-agent sampled-NetFlow rate
+)
+
+// must panics on HTTP or status errors; an example has no better answer.
+func must(resp *http.Response, err error) {
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		panic(fmt.Sprintf("%s: %s", resp.Status, buf.String()))
+	}
+}
+
+// binBody encodes items in the daemon's binary ingest format.
+func binBody(items stream.Slice) *bytes.Reader {
+	buf := make([]byte, 8*len(items))
+	for i, it := range items {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(it))
+	}
+	return bytes.NewReader(buf)
+}
+
+func main() {
+	// The central site: one collector daemon.
+	collector := server.NewCollector()
+	cts := httptest.NewServer(collector.Handler())
+	defer cts.Close()
+
+	// The traffic: a heavy-tailed NetFlow-style workload, split across
+	// the two monitoring points.
+	r := rng.New(5)
+	wl, _ := workload.NetFlow(packets, 15000, 1.05, 1.3, 4, r.Uint64())
+	traffic := stream.Collect(wl.Stream)
+	truth := stream.NewFreq(traffic)
+	half := len(traffic) / 2
+
+	// Every agent registers the same streams with the same estimator
+	// Seed — identical construction is what makes the shipped summaries
+	// mergeable — while sampling with its own coins.
+	streams := map[string]server.StreamConfig{
+		"flows": {Stat: "f0", P: p, Seed: 1234},
+		"skew":  {Stat: "fk", K: 2, P: p, Seed: 1234, Exact: true},
+		"top":   {Stat: "hh1", P: p, Alpha: 0.02, Seed: 1234},
+	}
+
+	for i := 0; i < agents; i++ {
+		agent := server.NewAgent(server.AgentConfig{
+			ID:       fmt.Sprintf("router-%d", i),
+			Upstream: cts.URL,
+		})
+		ats := httptest.NewServer(agent.Handler())
+		defer ats.Close()
+		defer agent.Close()
+
+		for name, cfg := range streams {
+			body, _ := json.Marshal(cfg)
+			req, _ := http.NewRequest(http.MethodPut, ats.URL+"/v1/streams/"+name, bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			must(http.DefaultClient.Do(req))
+		}
+
+		// This agent's share of the original traffic, in one big batch.
+		share := traffic[i*half : (i+1)*half]
+		for name := range streams {
+			must(http.Post(ats.URL+"/v1/streams/"+name+"/ingest",
+				server.ContentTypeBinary, binBody(share)))
+		}
+
+		// Ship the cumulative summaries upstream (in production the
+		// daemon's -flush ticker does this continuously).
+		must(http.Post(ats.URL+"/flush", "", nil))
+	}
+
+	// The collector now answers for the union of both substreams.
+	estimate := func(name string) (est struct {
+		Agents    int    `json:"agents"`
+		Fed       uint64 `json:"fed"`
+		Kept      uint64 `json:"kept"`
+		Estimates struct {
+			Values    map[string]float64 `json:"values"`
+			F1Hitters []struct {
+				Item stream.Item `json:"Item"`
+				Freq float64     `json:"Freq"`
+			} `json:"f1_hitters"`
+		} `json:"estimates"`
+	}) {
+		resp, err := http.Get(cts.URL + "/v1/streams/" + name + "/estimate")
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			panic(fmt.Sprintf("estimate %s: %s: %s", name, resp.Status, buf.String()))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+			panic(err)
+		}
+		return est
+	}
+
+	flows := estimate("flows")
+	fmt.Printf("%d agents exported %d of %d packets (p=%.2f each)\n\n",
+		flows.Agents, flows.Kept, packets, p)
+
+	estF0 := flows.Estimates.Values["f0"]
+	fmt.Printf("distinct flows:  collector estimate %8.0f   (true %d)\n", estF0, truth.F0())
+
+	skew := estimate("skew")
+	trueF2 := truth.Fk(2)
+	estF2 := skew.Estimates.Values["fk"]
+	fmt.Printf("traffic F2:      collector estimate %8.3g   (true %.3g, %+.1f%%)\n",
+		estF2, trueF2, 100*(estF2-trueF2)/trueF2)
+
+	top := estimate("top")
+	fmt.Printf("\ntop flows from the merged summaries (frequencies scaled by 1/p):\n")
+	fmt.Printf("%-8s %-14s %-10s\n", "flow", "est packets", "true")
+	for i, hh := range top.Estimates.F1Hitters {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("%-8d %-14.0f %-10d\n", hh.Item, hh.Freq, truth[hh.Item])
+	}
+}

@@ -12,6 +12,10 @@
 // collector answers as if it had seen every exported packet — and the
 // paper's estimators then recover statistics of the ORIGINAL traffic.
 //
+// This example keeps everything in one process to show the merge
+// machinery itself; examples/agentcollector runs the same topology as
+// real HTTP daemons shipping serialized summaries (internal/server).
+//
 // Run: go run ./examples/distributed
 package main
 
@@ -95,10 +99,14 @@ func main() {
 	}, newRouter)
 	pl.FeedSlice(traffic)
 
-	// Collector: stop the workers and fold all summaries into one.
-	collector, err := pipeline.MergeAll(pl)
-	if err != nil {
-		panic(err)
+	// Collector: stop the workers and fold all summaries into one,
+	// keeping one un-merged router aside to measure a single shipment.
+	routerStates := pl.Close()
+	collector, lastRouter := routerStates[0], routerStates[len(routerStates)-1]
+	for _, rt := range routerStates[1:] {
+		if err := collector.Merge(rt); err != nil {
+			panic(err)
+		}
 	}
 
 	fmt.Printf("%d routers exported %d of %d packets (p=%.2f each)\n\n",
@@ -127,7 +135,12 @@ func main() {
 			hh.Item, est, hh.Freq, 100*(est-float64(hh.Freq))/float64(hh.Freq))
 	}
 
-	ref := newRouter(0)
-	fmt.Printf("\nbytes shipped per router: %d (KMV) + %d (CountMin) + %d (F2) vs %d sampled packets\n",
-		ref.kmv.SpaceBytes(), ref.cm.SpaceBytes(), ref.f2.SpaceBytes(), collector.saw/routers*8)
+	// The shipping cost is the real wire size of ONE router's serialized
+	// summaries (the format internal/server ships) — Merge leaves its
+	// source untouched, so lastRouter still holds a single router's state.
+	kmvWire, _ := lastRouter.kmv.MarshalBinary()
+	cmWire, _ := lastRouter.cm.MarshalBinary()
+	f2Wire, _ := lastRouter.f2.MarshalBinary()
+	fmt.Printf("\nbytes shipped per router: %d (KMV) + %d (CountMin) + %d (F2) vs %d for the raw sampled packets\n",
+		len(kmvWire), len(cmWire), len(f2Wire), lastRouter.saw*8)
 }

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"substream/internal/levelset"
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// This file serializes the paper's estimator wrappers with the shared
+// wire primitives of internal/sketch, completing the cross-process story:
+// an agent daemon ships its cumulative estimator state to a collector,
+// which unmarshals and folds it with the Merge paths in merge.go. The
+// core package owns the tag range 0x20–0x2f (see internal/server/doc.go).
+//
+// Only mergeable configurations serialize: the reservoir-position entropy
+// sketch backend has no sound merge (a probe's run length cannot continue
+// across processes), so it has no wire form either — MarshalBinary
+// returns ErrNotMergeable and deployments that ship entropy must use the
+// plugin backend.
+
+// Type tags for the serialized estimator wrappers.
+const (
+	TagFkEstimator    byte = 0x20
+	TagF0Estimator    byte = 0x21
+	TagEntropy        byte = 0x22
+	TagF1HeavyHitters byte = 0x23
+	TagF2HeavyHitters byte = 0x24
+	TagMonitor        byte = 0x25
+	TagGEEF0Estimator byte = 0x26
+)
+
+// validP reports whether p is a legal sampling probability.
+func validP(p float64) bool { return p > 0 && p <= 1 }
+
+// MarshalBinary serializes the estimator, including its collision
+// counter.
+func (e *FkEstimator) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagFkEstimator)
+	w.U32(uint32(e.k))
+	w.F64(e.p)
+	w.U64(e.nL)
+	w.U32(uint32(len(e.schedule)))
+	for _, eps := range e.schedule {
+		w.F64(eps)
+	}
+	counter, err := levelset.MarshalCollisionCounter(e.collisions)
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(counter)
+	return w.Bytes(), nil
+}
+
+// UnmarshalFkEstimator reconstructs an FkEstimator from MarshalBinary
+// output.
+func UnmarshalFkEstimator(data []byte) (*FkEstimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagFkEstimator)
+	k := int(r.U32())
+	p := r.F64()
+	nL := r.U64()
+	if r.Err() == nil && (k < 2 || k > maxMomentOrder || !validP(p)) {
+		r.Fail()
+	}
+	n := r.Count(maxMomentOrder+1, 8)
+	if r.Err() == nil && n != k+1 {
+		r.Failf("core: Fk schedule has %d entries, want %d", n, k+1)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	schedule := make([]float64, n)
+	for i := range schedule {
+		schedule[i] = r.F64()
+		if r.Err() == nil && i >= 1 && !(schedule[i] > 0 && !math.IsInf(schedule[i], 0)) {
+			r.Fail()
+			return nil, r.Err()
+		}
+	}
+	counter, err := levelset.UnmarshalCollisionCounter(r.Nested())
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &FkEstimator{k: k, p: p, nL: nL, schedule: schedule, collisions: counter}, nil
+}
+
+// MarshalBinary serializes the estimator and its distinct-count backend.
+func (e *F0Estimator) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagF0Estimator)
+	w.F64(e.p)
+	var payload []byte
+	var err error
+	switch b := e.backend.(type) {
+	case *sketch.KMV:
+		payload, err = b.MarshalBinary()
+	case *sketch.HLL:
+		payload, err = b.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("core: F0 backend %T is not serializable", e.backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(payload)
+	return w.Bytes(), nil
+}
+
+// UnmarshalF0Estimator reconstructs an F0Estimator from MarshalBinary
+// output.
+func UnmarshalF0Estimator(data []byte) (*F0Estimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagF0Estimator)
+	p := r.F64()
+	if r.Err() == nil && !validP(p) {
+		r.Fail()
+	}
+	nested := r.Nested()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	tag, err := sketch.PayloadTag(nested)
+	if err != nil {
+		return nil, err
+	}
+	var backend distinctBackend
+	switch tag {
+	case sketch.TagKMV:
+		backend, err = sketch.UnmarshalKMV(nested)
+	case sketch.TagHLL:
+		backend, err = sketch.UnmarshalHLL(nested)
+	default:
+		return nil, fmt.Errorf("core: unknown F0 backend tag %#x", tag)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &F0Estimator{p: p, backend: backend}, nil
+}
+
+// MarshalBinary serializes the estimator: frequency profile in
+// increasing item order.
+func (e *GEEF0Estimator) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagGEEF0Estimator)
+	w.F64(e.p)
+	writeFreq(w, e.counts)
+	return w.Bytes(), nil
+}
+
+// UnmarshalGEEF0Estimator reconstructs a GEEF0Estimator from
+// MarshalBinary output.
+func UnmarshalGEEF0Estimator(data []byte) (*GEEF0Estimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagGEEF0Estimator)
+	p := r.F64()
+	if r.Err() == nil && !validP(p) {
+		r.Fail()
+	}
+	counts := readFreq(r)
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &GEEF0Estimator{p: p, counts: counts}, nil
+}
+
+// MarshalBinary serializes the estimator. Only the plugin backend has a
+// wire form; the reservoir-position sketch backend returns
+// ErrNotMergeable.
+func (e *EntropyEstimator) MarshalBinary() ([]byte, error) {
+	if e.plugin == nil {
+		return nil, fmt.Errorf("%w: entropy sketch backend has no wire form", ErrNotMergeable)
+	}
+	w := &sketch.Writer{}
+	w.Header(TagEntropy)
+	w.F64(e.p)
+	w.U64(e.nL)
+	writeFreq(w, e.plugin)
+	return w.Bytes(), nil
+}
+
+// UnmarshalEntropyEstimator reconstructs a plugin-backend
+// EntropyEstimator from MarshalBinary output.
+func UnmarshalEntropyEstimator(data []byte) (*EntropyEstimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagEntropy)
+	p := r.F64()
+	nL := r.U64()
+	if r.Err() == nil && !validP(p) {
+		r.Fail()
+	}
+	plugin := readFreq(r)
+	if r.Err() == nil {
+		var sum uint64
+		for _, c := range plugin {
+			sum += c
+		}
+		if sum != nL {
+			r.Failf("core: entropy frequencies sum to %d, header says %d", sum, nL)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return &EntropyEstimator{p: p, nL: nL, plugin: plugin}, nil
+}
+
+// MarshalBinary serializes the estimator: sketch backend and candidate
+// tracker as nested payloads.
+func (h *F1HeavyHitters) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagF1HeavyHitters)
+	w.F64(h.p)
+	w.F64(h.alpha)
+	w.F64(h.eps)
+	w.U64(h.observed)
+	var payload []byte
+	var err error
+	if h.cm != nil {
+		w.U8(0)
+		payload, err = h.cm.MarshalBinary()
+	} else {
+		w.U8(1)
+		payload, err = h.mg.MarshalBinary()
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(payload)
+	tracker, err := h.tracker.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(tracker)
+	return w.Bytes(), nil
+}
+
+// UnmarshalF1HeavyHitters reconstructs an F1HeavyHitters from
+// MarshalBinary output.
+func UnmarshalF1HeavyHitters(data []byte) (*F1HeavyHitters, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagF1HeavyHitters)
+	p := r.F64()
+	alpha := r.F64()
+	eps := r.F64()
+	observed := r.U64()
+	kind := r.U8()
+	if r.Err() == nil && (!validP(p) || !(alpha > 0 && alpha < 1) || !(eps > 0 && eps < 1) || kind > 1) {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	h := &F1HeavyHitters{p: p, alpha: alpha, eps: eps,
+		alphaPr: (1 - 2*eps/5) * alpha, observed: observed}
+	var err error
+	if kind == 0 {
+		h.cm, err = sketch.UnmarshalCountMin(r.Nested())
+	} else {
+		h.mg, err = sketch.UnmarshalMisraGries(r.Nested())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if h.tracker, err = sketch.UnmarshalTopK(r.Nested()); err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MarshalBinary serializes the estimator: CountSketch and candidate
+// tracker as nested payloads.
+func (h *F2HeavyHitters) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagF2HeavyHitters)
+	w.F64(h.p)
+	w.F64(h.alpha)
+	w.F64(h.eps)
+	w.U64(h.nL)
+	cs, err := h.cs.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(cs)
+	tracker, err := h.tracker.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(tracker)
+	return w.Bytes(), nil
+}
+
+// UnmarshalF2HeavyHitters reconstructs an F2HeavyHitters from
+// MarshalBinary output.
+func UnmarshalF2HeavyHitters(data []byte) (*F2HeavyHitters, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagF2HeavyHitters)
+	p := r.F64()
+	alpha := r.F64()
+	eps := r.F64()
+	nL := r.U64()
+	if r.Err() == nil && (!validP(p) || !(alpha > 0 && alpha < 1) || !(eps > 0 && eps < 1)) {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	h := &F2HeavyHitters{p: p, alpha: alpha, eps: eps,
+		alphaPr: (1 - 2*eps/5) * alpha * math.Sqrt(p), nL: nL}
+	var err error
+	if h.cs, err = sketch.UnmarshalCountSketch(r.Nested()); err != nil {
+		return nil, err
+	}
+	if h.tracker, err = sketch.UnmarshalTopK(r.Nested()); err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Monitor sub-estimator presence bits.
+const (
+	monHasFk byte = 1 << iota
+	monHasF0
+	monHasEntropy
+	monHasHH1
+	monHasHH2
+)
+
+// MarshalBinary serializes the monitor: a presence bitmap followed by
+// one nested payload per enabled estimator.
+func (m *Monitor) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagMonitor)
+	w.F64(m.p)
+	w.U64(m.nL)
+	var flags byte
+	if m.fk != nil {
+		flags |= monHasFk
+	}
+	if m.f0 != nil {
+		flags |= monHasF0
+	}
+	if m.entropy != nil {
+		flags |= monHasEntropy
+	}
+	if m.hh1 != nil {
+		flags |= monHasHH1
+	}
+	if m.hh2 != nil {
+		flags |= monHasHH2
+	}
+	w.U8(flags)
+	parts := []func() ([]byte, error){}
+	if m.fk != nil {
+		parts = append(parts, m.fk.MarshalBinary)
+	}
+	if m.f0 != nil {
+		parts = append(parts, m.f0.MarshalBinary)
+	}
+	if m.entropy != nil {
+		parts = append(parts, m.entropy.MarshalBinary)
+	}
+	if m.hh1 != nil {
+		parts = append(parts, m.hh1.MarshalBinary)
+	}
+	if m.hh2 != nil {
+		parts = append(parts, m.hh2.MarshalBinary)
+	}
+	for _, marshal := range parts {
+		payload, err := marshal()
+		if err != nil {
+			return nil, err
+		}
+		w.Nested(payload)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalMonitor reconstructs a Monitor from MarshalBinary output.
+func UnmarshalMonitor(data []byte) (*Monitor, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagMonitor)
+	p := r.F64()
+	nL := r.U64()
+	flags := r.U8()
+	if r.Err() == nil && (!validP(p) || flags >= 1<<5) {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{p: p, nL: nL}
+	var err error
+	if flags&monHasFk != 0 {
+		if m.fk, err = UnmarshalFkEstimator(r.Nested()); err != nil {
+			return nil, err
+		}
+	}
+	if flags&monHasF0 != 0 {
+		if m.f0, err = UnmarshalF0Estimator(r.Nested()); err != nil {
+			return nil, err
+		}
+	}
+	if flags&monHasEntropy != 0 {
+		if m.entropy, err = UnmarshalEntropyEstimator(r.Nested()); err != nil {
+			return nil, err
+		}
+	}
+	if flags&monHasHH1 != 0 {
+		if m.hh1, err = UnmarshalF1HeavyHitters(r.Nested()); err != nil {
+			return nil, err
+		}
+	}
+	if flags&monHasHH2 != 0 {
+		if m.hh2, err = UnmarshalF2HeavyHitters(r.Nested()); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// writeFreq appends a frequency map in increasing item order.
+func writeFreq(w *sketch.Writer, f stream.Freq) {
+	items := sketch.SortedKeys(f)
+	w.U32(uint32(len(items)))
+	for _, it := range items {
+		w.U64(uint64(it))
+		w.U64(f[it])
+	}
+}
+
+// readFreq reads a frequency map written by writeFreq.
+func readFreq(r *sketch.Reader) stream.Freq {
+	count := r.Count(sketch.MaxWireElems, 16)
+	if r.Err() != nil {
+		return nil
+	}
+	f := make(stream.Freq, count)
+	var prev stream.Item
+	for i := 0; i < count; i++ {
+		it := stream.Item(r.U64())
+		c := r.U64()
+		if r.Err() != nil {
+			return nil
+		}
+		if (i > 0 && it <= prev) || c < 1 {
+			r.Fail()
+			return nil
+		}
+		prev = it
+		f[it] = c
+	}
+	return f
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// nearlyEqual absorbs float summation-order noise: map-backed estimates
+// (entropy) sum their frequency map in iteration order, which Go
+// randomizes, so equality holds only up to accumulated rounding.
+func nearlyEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// marshalSample returns a skewed sampled stream for round-trip tests.
+func marshalSample(n int, seed uint64) stream.Slice {
+	wl := workload.Zipf(n, 2000, 1.1, seed)
+	return stream.Collect(wl.Stream)
+}
+
+func TestFkEstimatorMarshalRoundTrip(t *testing.T) {
+	for name, cfg := range map[string]FkConfig{
+		"levelset": {K: 3, P: 0.2, Budget: 256},
+		"exact":    {K: 3, P: 0.2, Exact: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() *FkEstimator { return NewFkEstimator(cfg, rng.New(11)) }
+			e := mk()
+			for _, it := range marshalSample(20000, 1) {
+				e.Observe(it)
+			}
+			data, err := e.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalFkEstimator(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Estimate() != e.Estimate() {
+				t.Fatalf("estimate %v after round trip, want %v", back.Estimate(), e.Estimate())
+			}
+			if back.SampledLength() != e.SampledLength() || back.K() != e.K() || back.P() != e.P() {
+				t.Fatal("metadata lost in round trip")
+			}
+			// Shipping must preserve mergeability with same-seed replicas.
+			sib := mk()
+			for _, it := range marshalSample(5000, 2) {
+				sib.Observe(it)
+			}
+			if err := back.Merge(sib); err != nil {
+				t.Fatalf("round-tripped estimator not mergeable: %v", err)
+			}
+		})
+	}
+}
+
+func TestF0EstimatorMarshalRoundTrip(t *testing.T) {
+	for name, cfg := range map[string]F0Config{
+		"kmv": {P: 0.1, Backend: F0KMV, KMVSize: 128},
+		"hll": {P: 0.1, Backend: F0HLL, HLLPrecision: 8},
+	} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() *F0Estimator { return NewF0Estimator(cfg, rng.New(13)) }
+			e := mk()
+			for _, it := range marshalSample(20000, 3) {
+				e.Observe(it)
+			}
+			data, err := e.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalF0Estimator(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Estimate() != e.Estimate() {
+				t.Fatal("estimate differs after round trip")
+			}
+			sib := mk()
+			for _, it := range marshalSample(5000, 4) {
+				sib.Observe(it)
+			}
+			if err := back.Merge(sib); err != nil {
+				t.Fatalf("round-tripped estimator not mergeable: %v", err)
+			}
+		})
+	}
+}
+
+func TestGEEF0EstimatorMarshalRoundTrip(t *testing.T) {
+	e := NewGEEF0Estimator(0.25)
+	for _, it := range marshalSample(10000, 5) {
+		e.Observe(it)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGEEF0Estimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != e.Estimate() {
+		t.Fatal("estimate differs after round trip")
+	}
+}
+
+func TestEntropyEstimatorMarshalRoundTrip(t *testing.T) {
+	e := NewEntropyEstimator(EntropyConfig{P: 0.2}, rng.New(17))
+	for _, it := range marshalSample(20000, 6) {
+		e.Observe(it)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEntropyEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nearlyEqual(back.Estimate(), e.Estimate()) {
+		t.Fatal("estimate differs after round trip")
+	}
+	if back.SampledLength() != e.SampledLength() {
+		t.Fatal("nL lost in round trip")
+	}
+	sib := NewEntropyEstimator(EntropyConfig{P: 0.2}, rng.New(17))
+	sib.Observe(1)
+	if err := back.Merge(sib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropySketchBackendNotSerializable(t *testing.T) {
+	e := NewEntropyEstimator(EntropyConfig{P: 0.2, Backend: EntropySketch}, rng.New(19))
+	if _, err := e.MarshalBinary(); !errors.Is(err, ErrNotMergeable) {
+		t.Fatalf("sketch backend marshaled (err=%v), want ErrNotMergeable", err)
+	}
+}
+
+func TestHeavyHittersMarshalRoundTrip(t *testing.T) {
+	s := marshalSample(40000, 7)
+	t.Run("f1-countmin", func(t *testing.T) {
+		mk := func() *F1HeavyHitters {
+			return NewF1HeavyHitters(F1HHConfig{P: 0.2, Alpha: 0.05}, rng.New(23))
+		}
+		h := mk()
+		for _, it := range s {
+			h.Observe(it)
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalF1HeavyHitters(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := h.Report(), back.Report()
+		if len(want) != len(got) {
+			t.Fatalf("%d hitters after round trip, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("hitter %d differs: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+		sib := mk()
+		sib.Observe(1)
+		if err := back.Merge(sib); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("f1-misragries", func(t *testing.T) {
+		h := NewF1HeavyHitters(F1HHConfig{P: 0.2, Alpha: 0.05, Backend: F1MisraGries}, rng.New(23))
+		for _, it := range s {
+			h.Observe(it)
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalF1HeavyHitters(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := h.Report(), back.Report()
+		if len(want) != len(got) {
+			t.Fatalf("%d hitters after round trip, want %d", len(got), len(want))
+		}
+	})
+	t.Run("f2", func(t *testing.T) {
+		mk := func() *F2HeavyHitters {
+			return NewF2HeavyHitters(F2HHConfig{P: 0.2, Alpha: 0.2}, rng.New(29))
+		}
+		h := mk()
+		for _, it := range s {
+			h.Observe(it)
+		}
+		data, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalF2HeavyHitters(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := h.Report(), back.Report()
+		if len(want) != len(got) {
+			t.Fatalf("%d hitters after round trip, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("hitter %d differs: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+		sib := mk()
+		sib.Observe(1)
+		if err := back.Merge(sib); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMonitorMarshalRoundTrip(t *testing.T) {
+	mk := func() *Monitor {
+		return NewMonitor(MonitorConfig{P: 0.2, K: 2, HHAlpha: 0.05}, rng.New(31))
+	}
+	m := mk()
+	for _, it := range marshalSample(30000, 8) {
+		m.Observe(it)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMonitor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := m.Report(), back.Report()
+	if got.SampledLength != want.SampledLength || got.Fk != want.Fk ||
+		got.F0 != want.F0 || !nearlyEqual(got.Entropy, want.Entropy) {
+		t.Fatalf("report differs after round trip: %+v vs %+v", got, want)
+	}
+	if len(got.F1HeavyHitters) != len(want.F1HeavyHitters) {
+		t.Fatal("F1 hitters differ after round trip")
+	}
+	sib := mk()
+	sib.Observe(1)
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped monitor not mergeable: %v", err)
+	}
+}
+
+func TestMonitorMarshalDisabledEstimators(t *testing.T) {
+	m := NewMonitor(MonitorConfig{P: 0.5, DisableFk: true, DisableHH2: true}, rng.New(37))
+	for _, it := range marshalSample(5000, 9) {
+		m.Observe(it)
+	}
+	data, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMonitor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Report().Fk != 0 {
+		t.Fatal("disabled Fk came back enabled")
+	}
+	if back.Report().F0 != m.Report().F0 {
+		t.Fatal("F0 differs after round trip")
+	}
+}
+
+// TestCoreUnmarshalTruncatedAndBitFlipped mirrors the sketch package's
+// corruption harness over the composite estimator payloads.
+func TestCoreUnmarshalTruncatedAndBitFlipped(t *testing.T) {
+	s := marshalSample(2000, 10)
+	fk := NewFkEstimator(FkConfig{K: 2, P: 0.3, Budget: 16}, rng.New(1))
+	f0 := NewF0Estimator(F0Config{P: 0.3, KMVSize: 16}, rng.New(2))
+	ent := NewEntropyEstimator(EntropyConfig{P: 0.3}, rng.New(3))
+	hh1 := NewF1HeavyHitters(F1HHConfig{P: 0.3, Alpha: 0.1, Backend: F1MisraGries}, rng.New(4))
+	hh2 := NewF2HeavyHitters(F2HHConfig{P: 0.3, Alpha: 0.3, MaxWidth: 64}, rng.New(5))
+	mon := NewMonitor(MonitorConfig{P: 0.3, HHAlpha: 0.1, DisableHH2: true, DisableFk: true}, rng.New(6))
+	for _, it := range s {
+		fk.Observe(it)
+		f0.Observe(it)
+		ent.Observe(it)
+		hh1.Observe(it)
+		hh2.Observe(it)
+		mon.Observe(it)
+	}
+	type marshaler interface{ MarshalBinary() ([]byte, error) }
+	sources := map[string]marshaler{
+		"fk": fk, "f0": f0, "entropy": ent, "hh1": hh1, "hh2": hh2, "monitor": mon,
+	}
+	decoders := map[string]func([]byte) error{
+		"fk":      func(d []byte) error { _, err := UnmarshalFkEstimator(d); return err },
+		"f0":      func(d []byte) error { _, err := UnmarshalF0Estimator(d); return err },
+		"gee":     func(d []byte) error { _, err := UnmarshalGEEF0Estimator(d); return err },
+		"entropy": func(d []byte) error { _, err := UnmarshalEntropyEstimator(d); return err },
+		"hh1":     func(d []byte) error { _, err := UnmarshalF1HeavyHitters(d); return err },
+		"hh2":     func(d []byte) error { _, err := UnmarshalF2HeavyHitters(d); return err },
+		"monitor": func(d []byte) error { _, err := UnmarshalMonitor(d); return err },
+	}
+	for src, m := range sources {
+		payload, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := decoders[src]
+		// Sample corruption positions with a fixed per-payload budget so
+		// the harness stays fast on multi-kilobyte composite payloads.
+		cutStep := len(payload)/512 + 1
+		for cut := 0; cut < len(payload); cut += cutStep {
+			if dec(payload[:cut]) == nil {
+				t.Fatalf("%s accepted a %d/%d-byte truncation", src, cut, len(payload))
+			}
+		}
+		// Every decoder over every payload: cross-type confusion and
+		// single-bit corruption must never panic.
+		bitStep := 8*len(payload)/2048 + 1
+		for name, d := range decoders {
+			for bit := 0; bit < 8*len(payload); bit += bitStep {
+				flipped := append([]byte{}, payload...)
+				flipped[bit/8] ^= 1 << (bit % 8)
+				_ = d(flipped)
+			}
+			if name != src {
+				if err := d(payload); err == nil {
+					t.Fatalf("%s decoder accepted %s payload", name, src)
+				}
+			}
+		}
+	}
+}

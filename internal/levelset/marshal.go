@@ -1,0 +1,275 @@
+package levelset
+
+import (
+	"fmt"
+	"math"
+
+	"substream/internal/sketch"
+	"substream/internal/stream"
+)
+
+// This file serializes the collision counters with the shared wire
+// primitives of internal/sketch, so an agent process can ship its
+// level-set state to a collector and the collector can fold it with the
+// Merge paths in merge.go. The levelset package owns the tag range
+// 0x10–0x1f (see internal/server/doc.go for the registry).
+
+// Type tags for the serialized collision counters.
+const (
+	TagExactCounter byte = 0x10
+	TagEstimator    byte = 0x11
+	TagIWEstimator  byte = 0x12
+)
+
+// maxWireReps bounds the decoded repetition/level counts; both default to
+// single digits and are never legitimately large.
+const maxWireReps = 1 << 10
+
+// MarshalBinary serializes the counter. Frequencies are written in
+// increasing item order, so equal counters serialize identically.
+func (c *ExactCounter) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagExactCounter)
+	w.U64(c.n)
+	w.U32(uint32(len(c.counts)))
+	for _, it := range sketch.SortedKeys(c.counts) {
+		w.U64(uint64(it))
+		w.U64(c.counts[it])
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalExactCounter reconstructs an ExactCounter from MarshalBinary
+// output.
+func UnmarshalExactCounter(data []byte) (*ExactCounter, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagExactCounter)
+	n := r.U64()
+	count := r.Count(sketch.MaxWireElems, 16)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	c := &ExactCounter{counts: make(stream.Freq, count), n: n}
+	var prev stream.Item
+	var sum uint64
+	for i := 0; i < count; i++ {
+		it := stream.Item(r.U64())
+		cnt := r.U64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if (i > 0 && it <= prev) || cnt < 1 || cnt > n {
+			r.Fail()
+			return nil, r.Err()
+		}
+		prev = it
+		sum += cnt
+		c.counts[it] = cnt
+	}
+	// n is by construction the sum of all frequencies; a mismatch means
+	// corruption.
+	if sum != n {
+		r.Failf("levelset: exact counter frequencies sum to %d, header says %d", sum, n)
+		return nil, r.Err()
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MarshalBinary serializes the level-set estimator: band geometry, the
+// heavy SpaceSaving summary as a nested payload, and each repetition's
+// universe hash, threshold, and exactly-tracked frequencies.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagEstimator)
+	w.F64(e.epsPrime)
+	w.F64(e.eta)
+	w.U32(uint32(e.budget))
+	heavy, err := e.heavy.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(heavy)
+	w.U32(uint32(len(e.reps)))
+	for _, rs := range e.reps {
+		w.Hash(rs.hash)
+		w.U32(uint32(rs.T))
+		w.U32(uint32(len(rs.counts)))
+		for _, it := range sketch.SortedKeys(rs.counts) {
+			tr := rs.counts[it]
+			w.U64(uint64(it))
+			w.U8(tr.level)
+			w.U64(tr.count)
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalEstimator reconstructs an Estimator from MarshalBinary output.
+func UnmarshalEstimator(data []byte) (*Estimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagEstimator)
+	epsPrime := r.F64()
+	eta := r.F64()
+	budget := r.Count(sketch.MaxWireElems, 0)
+	if r.Err() == nil && !(epsPrime > 0 && !math.IsInf(epsPrime, 0) && eta > 0 && eta <= 1 && budget >= 1) {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	heavy, err := sketch.UnmarshalSpaceSaving(r.Nested())
+	if err != nil {
+		return nil, err
+	}
+	if heavy.K() != budget {
+		return nil, fmt.Errorf("levelset: heavy summary k=%d does not match budget %d", heavy.K(), budget)
+	}
+	nReps := r.Count(maxWireReps, 1)
+	if r.Err() == nil && nReps < 1 {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e := &Estimator{epsPrime: epsPrime, eta: eta, budget: budget,
+		heavy: heavy, reps: make([]*repState, nReps)}
+	for i := range e.reps {
+		hash := r.Hash()
+		T := r.Count(maxLevel, 0)
+		count := r.Count(sketch.MaxWireElems, 17)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		rs := &repState{hash: hash, T: T, budget: budget,
+			counts: make(map[stream.Item]trackedItem, count)}
+		var prev stream.Item
+		for j := 0; j < count; j++ {
+			it := stream.Item(r.U64())
+			level := r.U8()
+			cnt := r.U64()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			// Every tracked item's sampling level is at least the final
+			// threshold (lower levels were evicted when T rose).
+			if (j > 0 && it <= prev) || int(level) < T || int(level) > maxLevel || cnt < 1 {
+				r.Fail()
+				return nil, r.Err()
+			}
+			prev = it
+			rs.counts[it] = trackedItem{level: level, count: cnt}
+		}
+		e.reps[i] = rs
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MarshalBinary serializes the Indyk–Woodruff estimator: band geometry,
+// the universe hash, and each level's element count, CountSketch, and
+// candidate tracker as nested payloads.
+func (e *IWEstimator) MarshalBinary() ([]byte, error) {
+	w := &sketch.Writer{}
+	w.Header(TagIWEstimator)
+	w.F64(e.epsPrime)
+	w.F64(e.eta)
+	w.U64(e.nL)
+	w.Hash(e.universe)
+	w.U32(uint32(len(e.levels)))
+	for t := range e.levels {
+		lvl := &e.levels[t]
+		w.U64(lvl.count)
+		cs, err := lvl.cs.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Nested(cs)
+		cands, err := lvl.cands.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Nested(cands)
+	}
+	return w.Bytes(), nil
+}
+
+// UnmarshalIWEstimator reconstructs an IWEstimator from MarshalBinary
+// output.
+func UnmarshalIWEstimator(data []byte) (*IWEstimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagIWEstimator)
+	epsPrime := r.F64()
+	eta := r.F64()
+	nL := r.U64()
+	if r.Err() == nil && !(epsPrime > 0 && !math.IsInf(epsPrime, 0) && eta > 0 && eta <= 1) {
+		r.Fail()
+	}
+	universe := r.Hash()
+	nLevels := r.Count(maxWireReps, 16)
+	if r.Err() == nil && nLevels < 1 {
+		r.Fail()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	e := &IWEstimator{epsPrime: epsPrime, eta: eta, nL: nL,
+		universe: universe, levels: make([]iwLevel, nLevels)}
+	for t := range e.levels {
+		count := r.U64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		cs, err := sketch.UnmarshalCountSketch(r.Nested())
+		if err != nil {
+			return nil, err
+		}
+		cands, err := sketch.UnmarshalTopK(r.Nested())
+		if err != nil {
+			return nil, err
+		}
+		e.levels[t] = iwLevel{hashLevel: t, cs: cs, cands: cands, count: count}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MarshalCollisionCounter serializes any of the package's collision
+// counters.
+func MarshalCollisionCounter(c CollisionCounter) ([]byte, error) {
+	switch x := c.(type) {
+	case *ExactCounter:
+		return x.MarshalBinary()
+	case *Estimator:
+		return x.MarshalBinary()
+	case *IWEstimator:
+		return x.MarshalBinary()
+	default:
+		return nil, fmt.Errorf("levelset: collision counter %T is not serializable", c)
+	}
+}
+
+// UnmarshalCollisionCounter dispatches on the payload tag and
+// reconstructs whichever collision counter was serialized.
+func UnmarshalCollisionCounter(data []byte) (CollisionCounter, error) {
+	tag, err := sketch.PayloadTag(data)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case TagExactCounter:
+		return UnmarshalExactCounter(data)
+	case TagEstimator:
+		return UnmarshalEstimator(data)
+	case TagIWEstimator:
+		return UnmarshalIWEstimator(data)
+	default:
+		return nil, fmt.Errorf("levelset: unknown collision counter tag %#x", tag)
+	}
+}

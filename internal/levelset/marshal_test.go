@@ -1,0 +1,193 @@
+package levelset
+
+import (
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// marshalStream is a small skewed stream shared by the round-trip tests.
+func marshalStream(n int, seed uint64) stream.Slice {
+	r := rng.New(seed)
+	z := rng.NewZipf(500, 1.2)
+	s := make(stream.Slice, n)
+	for i := range s {
+		s[i] = stream.Item(z.Draw(r))
+	}
+	return s
+}
+
+func TestExactCounterMarshalRoundTrip(t *testing.T) {
+	c := NewExactCounter()
+	for _, it := range marshalStream(20000, 1) {
+		c.Observe(it)
+	}
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalExactCounter(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != c.N() {
+		t.Fatal("N lost in round trip")
+	}
+	for l := 2; l <= 4; l++ {
+		if back.EstimateCollisions(l) != c.EstimateCollisions(l) {
+			t.Fatalf("C_%d differs after round trip", l)
+		}
+	}
+	// Still mergeable.
+	sib := NewExactCounter()
+	sib.Observe(1)
+	if err := back.MergeCounter(sib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorMarshalRoundTrip(t *testing.T) {
+	mk := func() *Estimator {
+		return New(Config{EpsPrime: 0.1, Budget: 256, Reps: 3}, rng.New(7))
+	}
+	e := mk()
+	for _, it := range marshalStream(30000, 2) {
+		e.Observe(it)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 2; l <= 3; l++ {
+		if back.EstimateCollisions(l) != e.EstimateCollisions(l) {
+			t.Fatalf("C_%d differs after round trip", l)
+		}
+	}
+	if back.HeavyCount() != e.HeavyCount() {
+		t.Fatal("heavy set differs after round trip")
+	}
+	// The reconstructed estimator must merge with a same-seed sibling:
+	// hashes and band offset survived byte-exactly.
+	sib := mk()
+	for _, it := range marshalStream(5000, 3) {
+		sib.Observe(it)
+	}
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped estimator not mergeable: %v", err)
+	}
+}
+
+func TestIWEstimatorMarshalRoundTrip(t *testing.T) {
+	mk := func() *IWEstimator {
+		return NewIW(IWConfig{EpsPrime: 0.1, Width: 64, Depth: 3, Levels: 6}, rng.New(9))
+	}
+	e := mk()
+	for _, it := range marshalStream(20000, 4) {
+		e.Observe(it)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalIWEstimator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.EstimateCollisions(2) != e.EstimateCollisions(2) {
+		t.Fatal("C_2 differs after round trip")
+	}
+	sib := mk()
+	for _, it := range marshalStream(5000, 5) {
+		sib.Observe(it)
+	}
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped IW estimator not mergeable: %v", err)
+	}
+}
+
+func TestUnmarshalCollisionCounterDispatch(t *testing.T) {
+	counters := []CollisionCounter{
+		NewExactCounter(),
+		New(Config{EpsPrime: 0.2, Budget: 32, Reps: 3}, rng.New(1)),
+		NewIW(IWConfig{EpsPrime: 0.2, Width: 32, Depth: 2, Levels: 4}, rng.New(2)),
+	}
+	for _, c := range counters {
+		for _, it := range marshalStream(2000, 6) {
+			c.Observe(it)
+		}
+		data, err := MarshalCollisionCounter(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalCollisionCounter(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := back.EstimateCollisions(2), c.EstimateCollisions(2); got != want {
+			t.Fatalf("%T: C_2 %v after dispatch round trip, want %v", c, got, want)
+		}
+	}
+	if _, err := UnmarshalCollisionCounter([]byte{0x7f, 0x01}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := UnmarshalCollisionCounter(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestUnmarshalExactCounterRejectsSumMismatch(t *testing.T) {
+	c := NewExactCounter()
+	c.Observe(1)
+	c.Observe(1)
+	c.Observe(2)
+	data, _ := c.MarshalBinary()
+	// Layout: tag(1) version(1) n(8) count(4) ... — inflate n.
+	bad := append([]byte{}, data...)
+	bad[2] = 0xff
+	if _, err := UnmarshalExactCounter(bad); err == nil {
+		t.Fatal("frequency-sum mismatch accepted")
+	}
+}
+
+// TestLevelsetUnmarshalTruncatedAndBitFlipped mirrors the sketch
+// package's corruption harness: all strict prefixes must be rejected and
+// no single-bit flip may panic any decoder.
+func TestLevelsetUnmarshalTruncatedAndBitFlipped(t *testing.T) {
+	exact := NewExactCounter()
+	est := New(Config{EpsPrime: 0.2, Budget: 16, Reps: 3}, rng.New(3))
+	iw := NewIW(IWConfig{EpsPrime: 0.2, Width: 16, Depth: 2, Levels: 3}, rng.New(4))
+	for _, it := range marshalStream(500, 8) {
+		exact.Observe(it)
+		est.Observe(it)
+		iw.Observe(it)
+	}
+	decoders := map[string]func([]byte) error{
+		"ExactCounter": func(d []byte) error { _, err := UnmarshalExactCounter(d); return err },
+		"Estimator":    func(d []byte) error { _, err := UnmarshalEstimator(d); return err },
+		"IWEstimator":  func(d []byte) error { _, err := UnmarshalIWEstimator(d); return err },
+		"dispatch":     func(d []byte) error { _, err := UnmarshalCollisionCounter(d); return err },
+	}
+	for _, c := range []CollisionCounter{exact, est, iw} {
+		payload, err := MarshalCollisionCounter(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, dec := range decoders {
+			for cut := 0; cut < len(payload); cut += 3 {
+				if err := dec(payload[:cut]); err == nil {
+					t.Fatalf("%s accepted a %d/%d-byte truncation of %T", name, cut, len(payload), c)
+				}
+			}
+			for bit := 0; bit < 8*len(payload); bit += 5 {
+				flipped := append([]byte{}, payload...)
+				flipped[bit/8] ^= 1 << (bit % 8)
+				_ = dec(flipped)
+			}
+		}
+	}
+}

@@ -68,10 +68,12 @@ func (c Config) withDefaults() Config {
 
 // batchMsg is one unit of work. Pooled buffers are recycled by the worker
 // after application; caller-owned slices (zero-copy FeedSlice path) are
-// not touched.
+// not touched. A message with a non-nil ack is a synchronization barrier:
+// the worker acknowledges and applies nothing.
 type batchMsg struct {
 	items  []stream.Item
 	pooled bool
+	ack    chan<- struct{}
 }
 
 // Pipeline fans a single feed out to per-shard estimator replicas of type
@@ -147,6 +149,10 @@ func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.It
 		scratch = make([]stream.Item, 0, p.cfg.BatchSize)
 	}
 	for msg := range ch {
+		if msg.ack != nil {
+			msg.ack <- struct{}{}
+			continue
+		}
 		items := msg.items
 		if coins != nil {
 			scratch = scratch[:0]
@@ -230,6 +236,33 @@ func (p *Pipeline[E]) Flush() {
 		p.buf = p.pool.Get().([]stream.Item)
 	}
 }
+
+// Sync flushes the buffered partial batch and blocks until every batch
+// dispatched so far has been applied by its shard worker. Between Sync
+// returning and the next Feed/FeedSlice/Flush call the replicas are
+// quiescent — each worker is parked on an empty channel — so Replicas
+// may be read (or merged into a fresh accumulator) without a data race.
+// Unlike Close, the pipeline keeps accepting work afterwards; this is
+// the snapshot point a long-running daemon ships summaries from.
+func (p *Pipeline[E]) Sync() {
+	if p.closed {
+		return
+	}
+	p.Flush()
+	acks := make(chan struct{}, len(p.chans))
+	for _, ch := range p.chans {
+		ch <- batchMsg{ack: acks}
+	}
+	for range p.chans {
+		<-acks
+	}
+}
+
+// Replicas returns the shard replicas without stopping the workers. It
+// is only safe to read (or merge from) the replicas between a Sync and
+// the next feeding call, or after Close; the channel handshake in Sync
+// orders every prior estimator write before the caller's reads.
+func (p *Pipeline[E]) Replicas() []E { return p.shards }
 
 // Close flushes, stops all workers, waits for every queued batch to be
 // applied, and returns the shard replicas. After Close the replicas are

@@ -175,3 +175,39 @@ func TestRoundRobinSpreadsLoad(t *testing.T) {
 		}
 	}
 }
+
+func TestSyncQuiescesWithoutStopping(t *testing.T) {
+	const rounds, perRound = 5, 4_000
+	p := New(Config{Shards: 4, BatchSize: 64}, func(int) *countReplica { return &countReplica{} })
+	for round := 1; round <= rounds; round++ {
+		for i := 0; i < perRound; i++ {
+			p.Feed(stream.Item(i%89 + 1))
+		}
+		p.Sync()
+		// Between Sync and the next Feed the replicas are quiescent: every
+		// item fed so far must be visible, and feeding must still work
+		// afterwards.
+		var total uint64
+		for _, s := range p.Replicas() {
+			total += s.n
+		}
+		if want := uint64(round * perRound); total != want {
+			t.Fatalf("round %d: replicas saw %d items, want %d", round, total, want)
+		}
+	}
+	shards := p.Close()
+	var total uint64
+	for _, s := range shards {
+		total += s.n
+	}
+	if total != rounds*perRound {
+		t.Fatalf("after close: %d items, want %d", total, rounds*perRound)
+	}
+}
+
+func TestSyncAfterCloseIsNoop(t *testing.T) {
+	p := New(Config{Shards: 2}, func(int) *countReplica { return &countReplica{} })
+	p.Feed(1)
+	p.Close()
+	p.Sync() // must not panic or deadlock on closed channels
+}

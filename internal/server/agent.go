@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AgentConfig configures an agent daemon.
+type AgentConfig struct {
+	// ID identifies this agent to the collector; summaries are keyed by
+	// (stream, agent), so every agent process must use a distinct ID.
+	ID string
+	// Upstream is the collector's base URL. Empty disables shipping.
+	Upstream string
+	// FlushInterval is the period of Run's background shipping.
+	// Default 10s.
+	FlushInterval time.Duration
+	// Client performs upstream requests. Default: 10s-timeout client.
+	Client *http.Client
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the monitoring daemon's ingest role: a registry of named
+// streams, each a sharded pipeline of mergeable estimator replicas, plus
+// the shipping path that exports cumulative summaries upstream.
+type Agent struct {
+	cfg     AgentConfig
+	boot    uint64 // process-incarnation marker carried by every Summary
+	metrics *Metrics
+
+	mu      sync.RWMutex
+	streams map[string]*agentStream
+}
+
+// agentStream is one registered stream. shipMu binds the snapshot to its
+// sequence number: without it, two concurrent flushes could assign a
+// newer Seq to an older snapshot and the collector would keep the wrong
+// one.
+type agentStream struct {
+	name   string
+	cfg    StreamConfig
+	run    streamRunner
+	shipMu sync.Mutex
+	seq    uint64
+}
+
+// NewAgent builds an agent.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.ID == "" {
+		cfg.ID = "agent"
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 10 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Agent{
+		cfg:     cfg,
+		boot:    uint64(time.Now().UnixNano()),
+		metrics: newMetrics(),
+		streams: make(map[string]*agentStream),
+	}
+}
+
+// Metrics exposes the agent's instrument panel (for tests and embedding).
+func (a *Agent) Metrics() *Metrics { return a.metrics }
+
+// Handler returns the agent's HTTP API.
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/streams/{name}", a.handleCreate)
+	mux.HandleFunc("GET /v1/streams", a.handleList)
+	mux.HandleFunc("DELETE /v1/streams/{name}", a.handleDelete)
+	mux.HandleFunc("POST /v1/streams/{name}/ingest", a.handleIngest)
+	mux.HandleFunc("GET /v1/streams/{name}/estimate", a.handleEstimate)
+	mux.HandleFunc("POST /v1/streams/{name}/flush", a.handleFlushOne)
+	mux.HandleFunc("POST /v1/flush", a.handleFlushAll)
+	mux.HandleFunc("POST /flush", a.handleFlushAll)
+	addOps(mux, "agent", a.metrics)
+	return mux
+}
+
+// errStreamExists marks a re-registration with a conflicting
+// configuration, distinguishing it from plain validation failures.
+var errStreamExists = errors.New("stream already exists with a different configuration")
+
+// CreateStream registers a named stream. Re-registering with an
+// identical shared configuration is idempotent; a conflicting one
+// returns an error wrapping errStreamExists.
+func (a *Agent) CreateStream(name string, cfg StreamConfig) error {
+	if name == "" {
+		return fmt.Errorf("stream name must be non-empty")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.SampleSeed == 0 && !cfg.Presampled {
+		// Sampling coins should differ across agents and restarts; the
+		// estimator Seed, by contrast, must be shared (see StreamConfig).
+		h := fnv.New64a()
+		io.WriteString(h, a.cfg.ID)
+		io.WriteString(h, name)
+		cfg.SampleSeed = h.Sum64() ^ uint64(time.Now().UnixNano())
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if existing, ok := a.streams[name]; ok {
+		if existing.cfg.sharedEquals(cfg) {
+			return nil
+		}
+		return fmt.Errorf("stream %q: %w", name, errStreamExists)
+	}
+	run, err := buildRunner(cfg)
+	if err != nil {
+		return err
+	}
+	a.streams[name] = &agentStream{name: name, cfg: cfg, run: run}
+	a.cfg.Logf("substreamd: agent %s: stream %q registered (stat=%s p=%g shards=%d)",
+		a.cfg.ID, name, cfg.Stat, cfg.P, cfg.Shards)
+	return nil
+}
+
+// lookup returns a registered stream.
+func (a *Agent) lookup(name string) (*agentStream, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	st, ok := a.streams[name]
+	return st, ok
+}
+
+// snapshotStreams returns the current registry, sorted by name.
+func (a *Agent) snapshotStreams() []*agentStream {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]*agentStream, 0, len(a.streams))
+	for _, st := range a.streams {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (a *Agent) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var cfg StreamConfig
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "bad stream config: %v", err)
+		return
+	}
+	if err := a.CreateStream(name, cfg); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errStreamExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"stream": name, "status": "registered"})
+}
+
+// streamInfo is one row of the list response.
+type streamInfo struct {
+	Name   string       `json:"name"`
+	Config StreamConfig `json:"config"`
+	Fed    uint64       `json:"fed"`
+	Kept   uint64       `json:"kept"`
+}
+
+func (a *Agent) handleList(w http.ResponseWriter, _ *http.Request) {
+	var out []streamInfo
+	for _, st := range a.snapshotStreams() {
+		fed, kept := st.run.counts()
+		out = append(out, streamInfo{Name: st.name, Config: st.cfg, Fed: fed, Kept: kept})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+}
+
+func (a *Agent) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	a.mu.Lock()
+	st, ok := a.streams[name]
+	delete(a.streams, name)
+	a.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	st.run.close()
+	writeJSON(w, http.StatusOK, map[string]string{"stream": name, "status": "deleted"})
+}
+
+func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
+	a.metrics.IngestRequests.Add(1)
+	st, ok := a.lookup(r.PathValue("name"))
+	if !ok {
+		a.metrics.IngestErrors.Add(1)
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	items, err := decodeItems(r.Header.Get("Content-Type"), body, r.ContentLength)
+	if err != nil {
+		a.metrics.IngestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		return
+	}
+	st.run.ingest(items)
+	a.metrics.IngestItems.Add(int64(len(items)))
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(items)})
+}
+
+func (a *Agent) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	a.metrics.EstimateQueries.Add(1)
+	st, ok := a.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	est, err := st.run.estimates()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "estimate failed: %v", err)
+		return
+	}
+	fed, kept := st.run.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": st.name, "fed": fed, "kept": kept, "estimates": est,
+	})
+}
+
+func (a *Agent) handleFlushOne(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	if err := a.shipStream(r.Context(), st); err != nil {
+		writeError(w, http.StatusBadGateway, "ship failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shipped": 1})
+}
+
+func (a *Agent) handleFlushAll(w http.ResponseWriter, r *http.Request) {
+	n, err := a.FlushAll(r.Context())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "ship failed after %d streams: %v", n, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shipped": n})
+}
+
+// FlushAll ships every stream's cumulative summary upstream, returning
+// how many shipped.
+func (a *Agent) FlushAll(ctx context.Context) (int, error) {
+	var errs []error
+	n := 0
+	for _, st := range a.snapshotStreams() {
+		if err := a.shipStream(ctx, st); err != nil {
+			errs = append(errs, fmt.Errorf("stream %q: %w", st.name, err))
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}
+
+// shipStream serializes one stream's cumulative state and POSTs it to
+// the collector. Because the payload is cumulative and ordered by Seq, a
+// lost or duplicated shipment is harmless — the collector keeps the
+// newest state per agent.
+func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
+	if a.cfg.Upstream == "" {
+		return fmt.Errorf("no upstream configured")
+	}
+	// Snapshot and sequence number are taken under one lock so Seq order
+	// equals snapshot order; sends may still arrive out of order, which
+	// the collector's (Boot, Seq) check absorbs.
+	st.shipMu.Lock()
+	payload, fed, kept, err := st.run.snapshot()
+	if err != nil {
+		st.shipMu.Unlock()
+		a.metrics.ShipErrors.Add(1)
+		return err
+	}
+	st.seq++
+	sum := Summary{
+		Agent:   a.cfg.ID,
+		Stream:  st.name,
+		Boot:    a.boot,
+		Seq:     st.seq,
+		Config:  st.cfg,
+		Fed:     fed,
+		Kept:    kept,
+		Payload: payload,
+	}
+	st.shipMu.Unlock()
+	body, err := json.Marshal(sum)
+	if err != nil {
+		a.metrics.ShipErrors.Add(1)
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.Upstream+"/v1/collect", bytes.NewReader(body))
+	if err != nil {
+		a.metrics.ShipErrors.Add(1)
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		a.metrics.ShipErrors.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		a.metrics.ShipErrors.Add(1)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("collector returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	a.metrics.SummariesOut.Add(1)
+	return nil
+}
+
+// Run drives periodic shipping until ctx is canceled, then performs a
+// final flush and closes every stream — the agent's graceful-shutdown
+// path. It returns the final flush's error, if any.
+func (a *Agent) Run(ctx context.Context) error {
+	ticker := time.NewTicker(a.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if a.cfg.Upstream == "" {
+				continue
+			}
+			if _, err := a.FlushAll(ctx); err != nil {
+				a.cfg.Logf("substreamd: agent %s: periodic flush: %v", a.cfg.ID, err)
+			}
+		case <-ctx.Done():
+			var err error
+			if a.cfg.Upstream != "" {
+				// Final flush with a fresh deadline: ctx is already dead.
+				flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err = a.FlushAll(flushCtx)
+				cancel()
+			}
+			a.Close()
+			return err
+		}
+	}
+}
+
+// Close stops every stream pipeline. It does not flush; use Run or
+// FlushAll for that.
+func (a *Agent) Close() {
+	for _, st := range a.snapshotStreams() {
+		st.run.close()
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"mime"
+	"strings"
+
+	"substream/internal/stream"
+)
+
+// Ingest body formats. Text is one decimal item per line (blank lines
+// skipped); binary is fixed 8-byte little-endian items, the
+// length-delimited fast path a forwarding monitor would use.
+const (
+	ContentTypeText   = "text/plain"
+	ContentTypeBinary = "application/octet-stream"
+)
+
+// decodeItems parses an ingest request body according to its content
+// type. An empty content type defaults to text. sizeBytes, when known
+// (Content-Length), pre-sizes the binary decode so a maximum-size batch
+// does not pay repeated slice growth on the hot path; pass -1 if
+// unknown.
+func decodeItems(contentType string, body io.Reader, sizeBytes int64) (stream.Slice, error) {
+	ct := contentType
+	if ct != "" {
+		if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+			ct = parsed
+		}
+	}
+	switch {
+	case ct == "" || strings.HasPrefix(ct, "text/"):
+		return stream.ReadText(body)
+	case ct == ContentTypeBinary:
+		return decodeBinaryItems(body, sizeBytes)
+	default:
+		return nil, fmt.Errorf("unsupported content type %q (want %s or %s)",
+			contentType, ContentTypeText, ContentTypeBinary)
+	}
+}
+
+// decodeBinaryItems reads fixed 8-byte little-endian items until EOF,
+// in 64 KiB chunks.
+func decodeBinaryItems(body io.Reader, sizeBytes int64) (stream.Slice, error) {
+	var out stream.Slice
+	if sizeBytes > 0 && sizeBytes <= maxIngestBytes {
+		out = make(stream.Slice, 0, sizeBytes/8)
+	}
+	buf := make([]byte, 64*1024)
+	fill := 0 // bytes of a partial trailing record carried between reads
+	for {
+		n, err := io.ReadFull(body, buf[fill:])
+		n += fill
+		complete := n - n%8
+		for off := 0; off < complete; off += 8 {
+			v := binary.LittleEndian.Uint64(buf[off:])
+			if v == 0 {
+				return nil, fmt.Errorf("item 0 is outside the 1-based universe")
+			}
+			out = append(out, stream.Item(v))
+		}
+		fill = copy(buf, buf[complete:n])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if fill != 0 {
+				return nil, fmt.Errorf("binary item stream truncated mid-item (%d trailing bytes)", fill)
+			}
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

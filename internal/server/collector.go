@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Collector is the monitoring daemon's aggregation role: it retains the
+// latest shipped summary per (stream, agent) and folds them on demand
+// into the global estimate — the central site of the paper's
+// sampled-NetFlow scenario.
+type Collector struct {
+	metrics *Metrics
+
+	mu      sync.RWMutex
+	streams map[string]*collectorStream
+}
+
+// collectorStream is the retained state of one logical stream.
+type collectorStream struct {
+	cfg    StreamConfig
+	fold   folder
+	agents map[string]agentState // latest state per agent, by (Boot, Seq)
+}
+
+// agentState is one agent's newest shipped summary, decoded once on
+// arrival. The stored Summary's Payload is blanked — the decoded
+// estimator is the retained representation.
+type agentState struct {
+	sum     Summary
+	decoded any
+}
+
+// NewCollector builds a collector.
+func NewCollector() *Collector {
+	return &Collector{metrics: newMetrics(), streams: make(map[string]*collectorStream)}
+}
+
+// Metrics exposes the collector's instrument panel.
+func (c *Collector) Metrics() *Metrics { return c.metrics }
+
+// Handler returns the collector's HTTP API.
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/collect", c.handleCollect)
+	mux.HandleFunc("GET /v1/streams", c.handleList)
+	mux.HandleFunc("GET /v1/streams/{name}/estimate", c.handleEstimate)
+	mux.HandleFunc("DELETE /v1/streams/{name}", c.handleDelete)
+	addOps(mux, "collector", c.metrics)
+	return mux
+}
+
+// Accept folds one shipped summary into the retained state: first sight
+// of a stream adopts its configuration, later summaries must match it,
+// and per-agent ordering is by (Boot, Seq) — a higher Boot is a
+// restarted agent whose fresh state replaces the old incarnation's,
+// while within one incarnation stale or replayed shipments are ignored.
+// Both properties together make shipping idempotent and restart-safe.
+func (c *Collector) Accept(sum Summary) error {
+	if sum.Stream == "" || sum.Agent == "" {
+		return fmt.Errorf("summary must name a stream and an agent")
+	}
+	cfg := sum.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("summary config: %w", err)
+	}
+	// Decode AND trial-fold eagerly: a corrupt payload, or one whose
+	// estimator disagrees with the declared config (wrong p, foreign
+	// hash seeds), is rejected at the door rather than poisoning every
+	// later estimate query. The decoded estimator — not the bytes — is
+	// what the collector retains.
+	fold, err := buildFolder(cfg)
+	if err != nil {
+		return err
+	}
+	decoded, err := fold.decode(sum.Payload)
+	if err != nil {
+		return fmt.Errorf("summary payload: %w", err)
+	}
+	if _, err := fold.foldDecoded([]any{decoded}); err != nil {
+		return fmt.Errorf("summary payload does not match its declared config: %w", err)
+	}
+	sum.Payload = nil // retained via decoded; drop the byte copy
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.streams[sum.Stream]
+	if !ok {
+		st = &collectorStream{cfg: cfg, fold: fold, agents: make(map[string]agentState)}
+		c.streams[sum.Stream] = st
+	} else if !st.cfg.sharedEquals(cfg) {
+		return fmt.Errorf("stream %q: agent %q ships config incompatible with the registered one",
+			sum.Stream, sum.Agent)
+	}
+	if prev, ok := st.agents[sum.Agent]; ok {
+		// Within one incarnation Seq orders shipments; ANY Boot change is
+		// treated as a newer incarnation and replaces the retained state.
+		// (Comparing Boot values numerically would break when a restarted
+		// host's clock stepped backwards; a cross-incarnation late
+		// delivery can briefly win instead, but the live process's next
+		// flush repairs that, while a clock step would never heal.)
+		if prev.sum.Boot == sum.Boot && prev.sum.Seq >= sum.Seq {
+			return nil // stale duplicate; newest state retained
+		}
+	}
+	st.agents[sum.Agent] = agentState{sum: sum, decoded: decoded}
+	return nil
+}
+
+// GlobalEstimate is the collector's answer for one stream: the folded
+// estimates plus the contributing agents' ingest totals, all captured
+// under one lock so the numbers are mutually consistent.
+type GlobalEstimate struct {
+	Estimates Estimates
+	Agents    int
+	Fed       uint64
+	Kept      uint64
+}
+
+// Estimate folds the latest summary of every agent of the stream into
+// the global estimate.
+func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
+	c.mu.RLock()
+	st, ok := c.streams[name]
+	if !ok {
+		c.mu.RUnlock()
+		return GlobalEstimate{}, fmt.Errorf("unknown stream %q", name)
+	}
+	// Fold in sorted agent order so repeated queries are deterministic.
+	agents := make([]string, 0, len(st.agents))
+	for id := range st.agents {
+		agents = append(agents, id)
+	}
+	sort.Strings(agents)
+	out := GlobalEstimate{Agents: len(agents)}
+	states := make([]any, len(agents))
+	for i, id := range agents {
+		state := st.agents[id]
+		states[i] = state.decoded
+		out.Fed += state.sum.Fed
+		out.Kept += state.sum.Kept
+	}
+	fold := st.fold
+	c.mu.RUnlock()
+
+	est, err := fold.foldDecoded(states)
+	out.Estimates = est
+	return out, err
+}
+
+func (c *Collector) handleCollect(w http.ResponseWriter, r *http.Request) {
+	var sum Summary
+	body := http.MaxBytesReader(w, r.Body, maxSummaryBytes)
+	if err := json.NewDecoder(body).Decode(&sum); err != nil {
+		c.metrics.CollectRejects.Add(1)
+		writeError(w, http.StatusBadRequest, "bad summary: %v", err)
+		return
+	}
+	if err := c.Accept(sum); err != nil {
+		c.metrics.CollectRejects.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c.metrics.SummariesIn.Add(1)
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"stream": sum.Stream, "agent": sum.Agent, "status": "accepted",
+	})
+}
+
+// collectorInfo is one row of the collector's list response.
+type collectorInfo struct {
+	Name   string       `json:"name"`
+	Config StreamConfig `json:"config"`
+	Agents int          `json:"agents"`
+	Fed    uint64       `json:"fed"`
+	Kept   uint64       `json:"kept"`
+}
+
+func (c *Collector) handleList(w http.ResponseWriter, _ *http.Request) {
+	c.mu.RLock()
+	var out []collectorInfo
+	for name, st := range c.streams {
+		info := collectorInfo{Name: name, Config: st.cfg, Agents: len(st.agents)}
+		for _, state := range st.agents {
+			info.Fed += state.sum.Fed
+			info.Kept += state.sum.Kept
+		}
+		out = append(out, info)
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"streams": out})
+}
+
+// handleDelete drops a stream's retained state. This is the operator's
+// recovery path after a coordinated configuration change: the collector
+// pins the config it first saw and rejects mismatched shipments, so
+// reconfigured fleets delete the stream here and let the agents' next
+// flush re-register it under the new config.
+func (c *Collector) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c.mu.Lock()
+	_, ok := c.streams[name]
+	delete(c.streams, name)
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stream": name, "status": "deleted"})
+}
+
+func (c *Collector) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	c.metrics.EstimateQueries.Add(1)
+	name := r.PathValue("name")
+	global, err := c.Estimate(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if global.Agents == 0 {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": name, "agents": global.Agents, "fed": global.Fed,
+		"kept": global.Kept, "estimates": global.Estimates,
+	})
+}

@@ -1,0 +1,55 @@
+// Package server implements the paper's deployment topology as a real
+// service: a sampled-NetFlow-style monitoring daemon (cmd/substreamd)
+// that runs in one of two roles.
+//
+// An AGENT owns a registry of named streams, each backed by a sharded
+// ingestion pipeline (internal/pipeline) of mergeable estimator replicas.
+// It ingests item batches over HTTP, answers local estimate queries, and
+// periodically — or on demand — ships its serialized cumulative estimator
+// state upstream.
+//
+// A COLLECTOR accepts shipped summaries, keeps the latest summary per
+// (stream, agent) pair, and answers global estimate queries by folding
+// the retained summaries with the estimators' Merge paths. Because each
+// agent ships its full cumulative state ("latest wins": within one Boot
+// incarnation summaries are ordered by Seq, and any Boot change is
+// adopted as a new incarnation), shipping is idempotent: a lost or
+// repeated shipment is repaired by the next one, and no state is ever
+// counted twice. A restarted agent begins a new incarnation whose state
+// replaces the dead one's; observations the old process had not shipped
+// die with it, the inherent cost of in-memory cumulative shipping. K agent processes each observing an independently sub-sampled
+// substream therefore reproduce the single-monitor estimate of the union
+// stream — the scenario the paper's Section 1 opens with.
+//
+// # Wire format
+//
+// Summaries travel as a JSON envelope (Summary) whose Payload field is
+// the binary serialization of one estimator, built from the primitives
+// in internal/sketch (little-endian fields, length-prefixed nesting).
+// The rules:
+//
+//   - Every payload starts with a one-byte TYPE TAG and a one-byte
+//     FORMAT VERSION (sketch.WireVersion, currently 1).
+//   - Tag ranges are partitioned by package: internal/sketch owns
+//     0x01–0x0f (CountMin 0x01, CountSketch 0x02, KMV 0x03, HLL 0x04,
+//     SpaceSaving 0x05, MisraGries 0x06, TopK 0x07), internal/levelset
+//     owns 0x10–0x1f (ExactCounter 0x10, Estimator 0x11, IWEstimator
+//     0x12), and internal/core owns 0x20–0x2f (Fk 0x20, F0 0x21,
+//     Entropy 0x22, F1HH 0x23, F2HH 0x24, Monitor 0x25, GEE-F0 0x26).
+//   - Decoders reject unknown tags, unknown versions, truncated input,
+//     trailing bytes, and any length field larger than the remaining
+//     buffer could hold — corrupt input must fail cleanly, never panic
+//     or over-allocate.
+//   - Hash functions serialize as their polynomial coefficients, so a
+//     decoded summary is bit-identical to its source and remains
+//     mergeable with summaries from identically-seeded replicas; merge
+//     compatibility is verified with probe keys, not trusted.
+//   - Any incompatible change to a payload layout must bump
+//     sketch.WireVersion; agents and collectors on different versions
+//     refuse each other's payloads rather than misinterpreting them.
+//
+// Mergeability across processes requires all agents of a stream to build
+// their estimators from identical configuration, including the Seed
+// field of StreamConfig — the daemon-level rendering of the library rule
+// that replicas must be constructed from generators at identical state.
+package server

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Metrics is the daemon's expvar instrument panel. The vars live in an
+// unregistered expvar.Map (not the process-global registry), so multiple
+// daemons — e.g. an agent fleet inside one test binary — never collide.
+type Metrics struct {
+	vars *expvar.Map
+
+	IngestRequests  *expvar.Int
+	IngestItems     *expvar.Int
+	IngestErrors    *expvar.Int
+	EstimateQueries *expvar.Int
+	SummariesOut    *expvar.Int
+	ShipErrors      *expvar.Int
+	SummariesIn     *expvar.Int
+	CollectRejects  *expvar.Int
+}
+
+// newMetrics builds an instrument panel.
+func newMetrics() *Metrics {
+	m := &Metrics{vars: new(expvar.Map).Init()}
+	add := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		m.vars.Set(name, v)
+		return v
+	}
+	m.IngestRequests = add("ingest_requests")
+	m.IngestItems = add("ingest_items")
+	m.IngestErrors = add("ingest_errors")
+	m.EstimateQueries = add("estimate_queries")
+	m.SummariesOut = add("summaries_shipped")
+	m.ShipErrors = add("ship_errors")
+	m.SummariesIn = add("summaries_received")
+	m.CollectRejects = add("summaries_rejected")
+	return m
+}
+
+// handler serves the panel as JSON, expvar-style.
+func (m *Metrics) handler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, m.vars.String())
+}
+
+// addOps registers the operational endpoints shared by both roles.
+func addOps(mux *http.ServeMux, role string, m *Metrics) {
+	start := time.Now()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"role":   role,
+			"uptime": time.Since(start).Round(time.Millisecond).String(),
+		})
+	})
+	mux.HandleFunc("GET /metricsz", m.handler)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxIngestBytes bounds one ingest request body (64 MiB ≈ 8M binary
+// items), keeping a single request from exhausting memory.
+const maxIngestBytes = 64 << 20
+
+// maxSummaryBytes bounds one shipped summary envelope.
+const maxSummaryBytes = 256 << 20
+
+// Server wraps an http.Server with explicit startup (so callers learn
+// the bound address) and graceful shutdown — the skeleton cmd/substreamd
+// wires signals into.
+type Server struct {
+	http *http.Server
+	ln   net.Listener
+	done chan error
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves h in
+// the background.
+func Start(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		http: &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.http.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the base URL of the server.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown stops accepting connections, drains in-flight requests, and
+// waits for the serve loop to exit. It is idempotent: repeat calls
+// return the first call's result instead of blocking.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		if err := s.http.Shutdown(ctx); err != nil {
+			s.shutdownErr = err
+			return
+		}
+		s.shutdownErr = <-s.done
+	})
+	return s.shutdownErr
+}

@@ -132,6 +132,125 @@ func TestHLLMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSpaceSavingMarshalRoundTrip(t *testing.T) {
+	ss := NewSpaceSaving(64)
+	s := zipfStream(30000, 2000, 1.1, 11)
+	for _, it := range s {
+		ss.Observe(it)
+	}
+	data, err := ss.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSpaceSaving(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ss.N() || back.K() != ss.K() {
+		t.Fatal("metadata lost in round trip")
+	}
+	want, got := ss.Counters(), back.Counters()
+	if len(want) != len(got) {
+		t.Fatalf("counter count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("counter %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// The reconstructed summary keeps working: observe and merge.
+	back.Observe(1)
+	sib := NewSpaceSaving(64)
+	sib.Observe(9)
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped SpaceSaving not mergeable: %v", err)
+	}
+}
+
+func TestMisraGriesMarshalRoundTrip(t *testing.T) {
+	mg := NewMisraGries(48)
+	s := zipfStream(30000, 2000, 1.1, 12)
+	for _, it := range s {
+		mg.Observe(it)
+	}
+	data, err := mg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMisraGries(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != mg.N() {
+		t.Fatal("N lost in round trip")
+	}
+	if len(back.Candidates()) != len(mg.Candidates()) {
+		t.Fatal("candidate count differs")
+	}
+	for it, c := range mg.Candidates() {
+		if back.Estimate(it) != c {
+			t.Fatalf("estimate differs for %d", it)
+		}
+	}
+	sib := NewMisraGries(48)
+	sib.Observe(3)
+	if err := back.Merge(sib); err != nil {
+		t.Fatalf("round-tripped MisraGries not mergeable: %v", err)
+	}
+}
+
+func TestTopKMarshalRoundTrip(t *testing.T) {
+	tk := NewTopK(16)
+	for i := 1; i <= 200; i++ {
+		tk.Update(stream.Item(i), float64(i%37)*1.5)
+	}
+	data, err := tk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTopK(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := tk.Items(), back.Items()
+	if len(want) != len(got) {
+		t.Fatalf("entry count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if back.Min() != tk.Min() {
+		t.Fatal("heap minimum differs after round trip")
+	}
+	// The rebuilt heap must keep accepting updates.
+	back.Update(999, 1e9)
+	if !back.Contains(999) {
+		t.Fatal("update after round trip lost")
+	}
+}
+
+func TestUnmarshalSpaceSavingRejectsBrokenInvariants(t *testing.T) {
+	ss := NewSpaceSaving(4)
+	for i := 0; i < 100; i++ {
+		ss.Observe(stream.Item(i % 7))
+	}
+	data, _ := ss.MarshalBinary()
+
+	// err >= count wraps the certified lower bound count−err.
+	bad := append([]byte{}, data...)
+	// Layout: tag(1) version(1) k(4) n(8) count(4) then entries of
+	// (item 8, count 8, err 8): corrupt the first entry's err to max.
+	off := 1 + 1 + 4 + 8 + 4 + 8 + 8
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xff
+	}
+	if _, err := UnmarshalSpaceSaving(bad); err == nil {
+		t.Fatal("err > count accepted")
+	}
+}
+
 func TestUnmarshalRejectsGarbage(t *testing.T) {
 	cm := NewCountMin(16, 2, rng.New(8))
 	data, _ := cm.MarshalBinary()

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"substream/internal/core"
+	"substream/internal/estimator"
 	"substream/internal/experiments"
 	"substream/internal/pipeline"
 	"substream/internal/rng"
@@ -216,6 +217,75 @@ func BenchmarkPipelineBatchVsObserve(b *testing.B) {
 		}
 	})
 }
+
+// --- wire format (internal/estimator registry) ---
+
+// wireEstimator builds one estimator of the named kind through the
+// registry and feeds it a sampled Zipf stream, so marshal/decode benches
+// measure realistically-populated summaries.
+func wireEstimator(b *testing.B, stat string) estimator.Estimator {
+	b.Helper()
+	e, err := estimator.New(estimator.Spec{
+		Stat: stat, P: 0.2, K: 2, Epsilon: 0.2, Alpha: 0.05, Budget: 4096, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.UpdateBatch(sampledZipf(1<<15, 0.2))
+	return e
+}
+
+// benchmarkMarshal measures serializing one cumulative summary — the
+// per-flush cost an agent pays — and reports the wire size, so
+// bytes-per-summary shows up in the perf trajectory alongside
+// throughput.
+func benchmarkMarshal(b *testing.B, stat string) {
+	e := wireEstimator(b, stat)
+	payload, err := e.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(payload)), "bytes/summary")
+}
+
+// benchmarkDecode measures the registry's single decode entry point —
+// the per-summary cost a collector pays on arrival.
+func benchmarkDecode(b *testing.B, stat string) {
+	e := wireEstimator(b, stat)
+	payload, err := e.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimator.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(payload)), "bytes/summary")
+}
+
+func BenchmarkMarshalFk(b *testing.B)      { benchmarkMarshal(b, "fk") }
+func BenchmarkMarshalF0(b *testing.B)      { benchmarkMarshal(b, "f0") }
+func BenchmarkMarshalEntropy(b *testing.B) { benchmarkMarshal(b, "entropy") }
+func BenchmarkMarshalHH1(b *testing.B)     { benchmarkMarshal(b, "hh1") }
+func BenchmarkMarshalHH2(b *testing.B)     { benchmarkMarshal(b, "hh2") }
+func BenchmarkMarshalMonitor(b *testing.B) { benchmarkMarshal(b, "all") }
+
+func BenchmarkDecodeFk(b *testing.B)      { benchmarkDecode(b, "fk") }
+func BenchmarkDecodeF0(b *testing.B)      { benchmarkDecode(b, "f0") }
+func BenchmarkDecodeEntropy(b *testing.B) { benchmarkDecode(b, "entropy") }
+func BenchmarkDecodeHH1(b *testing.B)     { benchmarkDecode(b, "hh1") }
+func BenchmarkDecodeHH2(b *testing.B)     { benchmarkDecode(b, "hh2") }
+func BenchmarkDecodeMonitor(b *testing.B) { benchmarkDecode(b, "all") }
 
 // --- network monitoring daemon (internal/server) ---
 

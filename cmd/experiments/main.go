@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"substream/internal/estimator"
 	"substream/internal/experiments"
 )
 
@@ -45,6 +46,7 @@ func run(args []string, w, errW io.Writer) error {
 		trials = fs.Int("trials", 0, "override trials per cell (0 = per-experiment default)")
 		seed   = fs.Uint64("seed", 24067, "master seed")
 		list   = fs.Bool("list", false, "list experiments and exit")
+		listE  = fs.Bool("list-estimators", false, "list the registered estimator kinds the experiments draw on and exit")
 		par    = fs.Bool("parallel", false, "run experiments concurrently (output buffered per experiment)")
 	)
 	fs.SetOutput(errW)
@@ -59,6 +61,10 @@ func run(args []string, w, errW io.Writer) error {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(w, "%-4s %s\n     claim: %s\n", e.ID, e.Title, e.Claim)
 		}
+		return nil
+	}
+	if *listE {
+		estimator.WriteKinds(w)
 		return nil
 	}
 

@@ -4,6 +4,11 @@
 // would, feeds only the sampled stream to the chosen estimator, and
 // prints estimate vs exact.
 //
+// The -stat flag accepts any kind registered with the internal/estimator
+// registry (-list-estimators prints them); the paper's headline stats
+// get bespoke exact-vs-estimate reporting, everything else prints its
+// named estimates.
+//
 // With -shards N > 1 the stream is ingested through the sharded pipeline
 // (internal/pipeline): batches of -batch items are dealt round-robin to N
 // workers, each worker samples and feeds its own estimator replica, and
@@ -14,8 +19,7 @@
 //
 //	substream -stat f2 -p 0.1 [-input stream.txt] [-k 3] [-alpha 0.05]
 //	          [-shards 4] [-batch 1024]
-//
-// Stats: f0, fk (with -k), entropy, hh1, hh2, all.
+//	substream -list-estimators
 package main
 
 import (
@@ -23,8 +27,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"substream/internal/core"
+	"substream/internal/estimator"
 	"substream/internal/pipeline"
 	"substream/internal/rng"
 	"substream/internal/stream"
@@ -43,11 +49,12 @@ type options struct {
 	budget int
 	shards int
 	batch  int
+	list   bool
 }
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.stat, "stat", "f2", "statistic: f0 | fk | entropy | hh1 | hh2 | all")
+	flag.StringVar(&opt.stat, "stat", "f2", "statistic: any registered estimator kind (see -list-estimators)")
 	flag.Float64Var(&opt.p, "p", 0.1, "Bernoulli sampling probability")
 	flag.StringVar(&opt.input, "input", "", "input stream file (default stdin)")
 	flag.IntVar(&opt.k, "k", 2, "moment order for -stat fk")
@@ -58,6 +65,7 @@ func main() {
 	flag.IntVar(&opt.budget, "budget", 4096, "level-set budget for fk")
 	flag.IntVar(&opt.shards, "shards", 1, "pipeline shard workers (1 = sequential)")
 	flag.IntVar(&opt.batch, "batch", 1024, "pipeline batch size")
+	flag.BoolVar(&opt.list, "list-estimators", false, "list registered estimator kinds and exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, opt); err != nil {
@@ -67,6 +75,10 @@ func main() {
 }
 
 func run(w io.Writer, opt options) error {
+	if opt.list {
+		estimator.WriteKinds(w)
+		return nil
+	}
 	var in io.Reader = os.Stdin
 	if opt.input != "" {
 		f, err := os.Open(opt.input)
@@ -97,73 +109,63 @@ func run(w io.Writer, opt options) error {
 	}
 
 	r := rng.New(opt.seed)
-	// Every estimator replica is constructed from this one seed; identical
-	// construction state is what makes the replicas mergeable.
-	estSeed := r.Uint64()
+	// Every estimator replica is constructed from this one spec (seed
+	// included); identical construction state is what makes the replicas
+	// mergeable.
+	spec := estimator.Spec{
+		Stat: opt.stat, P: opt.p, K: opt.k, Epsilon: opt.eps,
+		Alpha: opt.alpha, Budget: opt.budget, Exact: opt.exact,
+		Seed: r.Uint64(),
+	}
+	if _, err := estimator.New(spec); err != nil {
+		return err
+	}
 	f := stream.NewFreq(s)
 	fmt.Fprintf(w, "original stream: n=%d distinct=%d\n", len(s), f.F0())
 
-	switch opt.stat {
-	case "f0":
-		e, err := estimate(w, opt, s, r, func(int) *core.F0Estimator {
-			return core.NewF0Estimator(core.F0Config{P: opt.p}, rng.New(estSeed))
-		})
+	// Both shard counts Bernoulli-sample at opt.p inside the pipeline
+	// workers, so -shards 1 reproduces the classic sequential monitor and
+	// -shards N merely spreads the same work across cores.
+	pl := pipeline.New(pipeline.Config{
+		Shards:    opt.shards,
+		BatchSize: opt.batch,
+		SampleP:   opt.p,
+		Seed:      r.Uint64(),
+	}, func(int) estimator.Estimator {
+		e, err := estimator.New(spec)
 		if err != nil {
-			return err
+			panic(err) // unreachable: spec probe-constructed above
 		}
+		return e
+	})
+	pl.FeedSlice(s)
+	merged, err := pipeline.MergeAll(pl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sampled |L|=%d (p=%g, shards=%d, batch=%d)\n",
+		pl.Kept(), opt.p, opt.shards, opt.batch)
+
+	// The paper's headline kinds report estimate vs exact with their
+	// analytic bounds; any other registered kind prints its named
+	// estimates — new kinds need no CLI change to be usable.
+	switch e := estimator.Unwrap(merged).(type) {
+	case *core.F0Estimator:
 		report(w, "F0", e.Estimate(), float64(f.F0()))
 		fmt.Fprintf(w, "guaranteed multiplicative bound: %.2f (Lemma 8)\n", e.ErrorBound())
-	case "fk":
-		e, err := estimate(w, opt, s, r, func(int) *core.FkEstimator {
-			return core.NewFkEstimator(core.FkConfig{
-				K: opt.k, P: opt.p, Epsilon: opt.eps, Exact: opt.exact, Budget: opt.budget,
-			}, rng.New(estSeed))
-		})
-		if err != nil {
-			return err
-		}
+	case *core.FkEstimator:
 		report(w, fmt.Sprintf("F%d", opt.k), e.Estimate(), f.Fk(opt.k))
 		fmt.Fprintf(w, "minimum meaningful p (Thm 1): %.4g\n",
 			core.MinSamplingP(uint64(f.F0()), uint64(len(s)), opt.k))
-	case "entropy":
-		e, err := estimate(w, opt, s, r, func(int) *core.EntropyEstimator {
-			return core.NewEntropyEstimator(core.EntropyConfig{P: opt.p}, rng.New(estSeed))
-		})
-		if err != nil {
-			return err
-		}
+	case *core.EntropyEstimator:
 		report(w, "H", e.Estimate(), f.Entropy())
 		fmt.Fprintf(w, "additive floor (Thm 5): %.4g bits\n", e.AdditiveFloor(uint64(len(s))))
-	case "hh1":
-		e, err := estimate(w, opt, s, r, func(int) *core.F1HeavyHitters {
-			return core.NewF1HeavyHitters(core.F1HHConfig{
-				P: opt.p, Alpha: opt.alpha, Epsilon: opt.eps,
-			}, rng.New(estSeed))
-		})
-		if err != nil {
-			return err
-		}
+	case *core.F1HeavyHitters:
 		printHitters(w, e.Report(), f)
-	case "hh2":
-		e, err := estimate(w, opt, s, r, func(int) *core.F2HeavyHitters {
-			return core.NewF2HeavyHitters(core.F2HHConfig{
-				P: opt.p, Alpha: opt.alpha, Epsilon: opt.eps,
-			}, rng.New(estSeed))
-		})
-		if err != nil {
-			return err
-		}
+	case *core.F2HeavyHitters:
 		printHitters(w, e.Report(), f)
-	case "all":
-		m, err := estimate(w, opt, s, r, func(int) *core.Monitor {
-			return core.NewMonitor(core.MonitorConfig{
-				P: opt.p, K: opt.k, Epsilon: opt.eps, HHAlpha: opt.alpha,
-			}, rng.New(estSeed))
-		})
-		if err != nil {
-			return err
-		}
-		rep := m.Report()
+	case *core.Monitor:
+		rep := e.Report()
 		report(w, "n", rep.EstimatedLength, float64(len(s)))
 		report(w, fmt.Sprintf("F%d", max(opt.k, 2)), rep.Fk, f.Fk(max(opt.k, 2)))
 		report(w, "F0", rep.F0, float64(f.F0()))
@@ -171,31 +173,23 @@ func run(w io.Writer, opt options) error {
 		fmt.Fprintf(w, "F1 heavy hitters:\n")
 		printHitters(w, rep.F1HeavyHitters, f)
 	default:
-		return fmt.Errorf("unknown stat %q (want f0 | fk | entropy | hh1 | hh2 | all)", opt.stat)
+		printEstimates(w, merged)
 	}
 	return nil
 }
 
-// estimate feeds the original stream to identically-seeded estimator
-// replicas and returns the (merged) estimator. Both paths Bernoulli-
-// sample at opt.p inside the pipeline workers, so -shards 1 reproduces
-// the classic sequential monitor and -shards N merely spreads the same
-// work across cores.
-func estimate[E pipeline.Mergeable[E]](w io.Writer, opt options, s stream.Slice, r *rng.Xoshiro256, mk func(int) E) (E, error) {
-	pl := pipeline.New(pipeline.Config{
-		Shards:    opt.shards,
-		BatchSize: opt.batch,
-		SampleP:   opt.p,
-		Seed:      r.Uint64(),
-	}, mk)
-	pl.FeedSlice(s)
-	e, err := pipeline.MergeAll(pl)
-	if err != nil {
-		return e, err
+// printEstimates renders a registry kind's named estimates in sorted
+// order.
+func printEstimates(w io.Writer, e estimator.Estimator) {
+	vals := e.Estimates()
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
 	}
-	fmt.Fprintf(w, "sampled |L|=%d (p=%g, shards=%d, batch=%d)\n",
-		pl.Kept(), opt.p, opt.shards, opt.batch)
-	return e, nil
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s estimate: %.6g\n", name, vals[name])
+	}
 }
 
 func report(w io.Writer, name string, est, exact float64) {

@@ -151,3 +151,16 @@ func TestRunEmptyStream(t *testing.T) {
 		t.Fatal("empty stream accepted")
 	}
 }
+
+func TestListEstimators(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, options{list: true}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
+		}
+	}
+}

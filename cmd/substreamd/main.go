@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"substream/internal/estimator"
 	"substream/internal/server"
 )
 
@@ -45,6 +46,7 @@ type options struct {
 	id       string
 	flush    time.Duration
 	streams  string
+	list     bool
 }
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 	flag.StringVar(&opt.id, "id", "", "agent identity (default: hostname-pid)")
 	flag.DurationVar(&opt.flush, "flush", 10*time.Second, "summary shipping interval (agent mode)")
 	flag.StringVar(&opt.streams, "streams", "", "stream registry: inline JSON or a JSON file path (agent mode)")
+	flag.BoolVar(&opt.list, "list-estimators", false, "list the estimator kinds streams may declare and exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -89,6 +92,10 @@ func parseStreams(spec string) (map[string]server.StreamConfig, error) {
 // down gracefully. The bound address is printed to w so callers binding
 // port 0 can find the server.
 func run(ctx context.Context, opt options, w io.Writer) error {
+	if opt.list {
+		estimator.WriteKinds(w)
+		return nil
+	}
 	switch opt.role {
 	case "agent":
 		return runAgent(ctx, opt, w)

@@ -164,3 +164,16 @@ func TestParseStreamsFile(t *testing.T) {
 		t.Fatalf("parsed %+v", streams["a"])
 	}
 }
+
+func TestListEstimators(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), options{list: true}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fk", "0x20", "f0", "all", "countsketch", "iw"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"substream/internal/estimator"
 	"substream/internal/rng"
 	"substream/internal/sketch"
 	"substream/internal/stream"
@@ -15,11 +16,10 @@ import (
 // (times √p in the F₂ case), then scale reported frequencies back by 1/p.
 
 // ReportedHitter is one reported heavy hitter with its estimated original
-// frequency f′_i (already scaled by 1/p).
-type ReportedHitter struct {
-	Item stream.Item
-	Freq float64
-}
+// frequency f′_i (already scaled by 1/p). It aliases the estimator
+// layer's Hitter so reports flow through the registry interface without
+// conversion.
+type ReportedHitter = estimator.Hitter
 
 // F1Backend selects the sampled-stream heavy-hitter algorithm used by
 // F1HeavyHitters.

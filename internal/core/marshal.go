@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding"
 	"fmt"
 	"math"
 
+	"substream/internal/estimator"
 	"substream/internal/levelset"
 	"substream/internal/sketch"
 	"substream/internal/stream"
@@ -96,16 +98,11 @@ func (e *F0Estimator) MarshalBinary() ([]byte, error) {
 	w := &sketch.Writer{}
 	w.Header(TagF0Estimator)
 	w.F64(e.p)
-	var payload []byte
-	var err error
-	switch b := e.backend.(type) {
-	case *sketch.KMV:
-		payload, err = b.MarshalBinary()
-	case *sketch.HLL:
-		payload, err = b.MarshalBinary()
-	default:
+	m, ok := e.backend.(encoding.BinaryMarshaler)
+	if !ok {
 		return nil, fmt.Errorf("core: F0 backend %T is not serializable", e.backend)
 	}
+	payload, err := m.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
@@ -130,17 +127,20 @@ func UnmarshalF0Estimator(data []byte) (*F0Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	var backend distinctBackend
-	switch tag {
-	case sketch.TagKMV:
-		backend, err = sketch.UnmarshalKMV(nested)
-	case sketch.TagHLL:
-		backend, err = sketch.UnmarshalHLL(nested)
-	default:
+	// Gate to sketch-owned tags (0x01–0x0f) BEFORE decoding: sketch
+	// payloads never nest registry decodes, so a crafted payload cannot
+	// recurse composite estimators inside themselves.
+	if tag == 0 || tag > 0x0f {
 		return nil, fmt.Errorf("core: unknown F0 backend tag %#x", tag)
 	}
+	dec, err := estimator.Decode(nested)
 	if err != nil {
 		return nil, err
+	}
+	backend, ok := estimator.Unwrap(dec).(distinctBackend)
+	if !ok {
+		return nil, fmt.Errorf("core: F0 backend tag %#x decodes to %T, not a distinct counter",
+			tag, estimator.Unwrap(dec))
 	}
 	if err := r.Done(); err != nil {
 		return nil, err

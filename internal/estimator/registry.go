@@ -1,0 +1,193 @@
+package estimator
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Spec is the estimator-affecting configuration a registered kind builds
+// fresh instances from. It is the registry-level rendering of the
+// library's mergeability rule: all replicas of one logical stream — in
+// one process or across agents — must be constructed from an identical
+// Spec, Seed included, for their summaries to merge.
+type Spec struct {
+	// Stat names the kind to build (a registered Kind.Name).
+	Stat string
+	// P is the Bernoulli sampling probability of the original stream.
+	P float64
+	// K is the moment order for moment estimators. Default 2.
+	K int
+	// Epsilon is the target relative error.
+	Epsilon float64
+	// Alpha is the heaviness threshold for heavy-hitter kinds.
+	Alpha float64
+	// Budget bounds counter-based summaries (level-set budget, top-k…).
+	Budget int
+	// Exact selects an exact (unbounded-space) backend where one exists.
+	Exact bool
+	// Seed constructs the estimator; identical seeds make replicas
+	// mergeable.
+	Seed uint64
+}
+
+// Kind is one registered estimator kind: the binding between a wire tag,
+// a stable name, a decoder, and a constructor. Decode is mandatory (every
+// kind has a wire form — that is what earns it a tag); New may be nil for
+// kinds that are only components of composite payloads.
+type Kind struct {
+	// Tag is the kind's wire tag byte. Tag ranges are partitioned by
+	// package: internal/sketch owns 0x01–0x0f, internal/levelset owns
+	// 0x10–0x1f, internal/core owns 0x20–0x2f.
+	Tag byte
+	// Name is the kind's stable, unique name — the value of a stream
+	// config's "stat" field and of the CLIs' -stat flag.
+	Name string
+	// Doc is a one-line description for -list-estimators.
+	Doc string
+	// New builds a fresh estimator from a spec. Implementations may
+	// panic on out-of-range numeric parameters exactly like the
+	// underlying constructors; config-driven callers validate first.
+	New func(Spec) (Estimator, error)
+	// Decode reconstructs an estimator from MarshalBinary output
+	// carrying this kind's tag.
+	Decode func([]byte) (Estimator, error)
+}
+
+var (
+	regMu  sync.RWMutex
+	byTag  = map[byte]Kind{}
+	byName = map[string]Kind{}
+)
+
+// Register adds a kind to the registry. It panics on a duplicate tag or
+// name, a missing decoder, or an empty name — registration happens at
+// init time, where a conflict is a programming error that must not ship.
+func Register(k Kind) {
+	if k.Name == "" || k.Decode == nil {
+		panic(fmt.Sprintf("estimator: kind %#x must have a name and a decoder", k.Tag))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if dup, ok := byTag[k.Tag]; ok {
+		panic(fmt.Sprintf("estimator: tag %#x registered twice (%q and %q)", k.Tag, dup.Name, k.Name))
+	}
+	if _, ok := byName[k.Name]; ok {
+		panic(fmt.Sprintf("estimator: name %q registered twice", k.Name))
+	}
+	byTag[k.Tag] = k
+	byName[k.Name] = k
+}
+
+// Kinds returns every registered kind, sorted by tag.
+func Kinds() []Kind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Kind, 0, len(byTag))
+	for _, k := range byTag {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Lookup returns the kind registered under name.
+func Lookup(name string) (Kind, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	k, ok := byName[name]
+	return k, ok
+}
+
+// Stats returns the names of every constructible kind in sorted order —
+// the legal values of a stream config's "stat" field.
+func Stats() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(byName))
+	for name, k := range byName {
+		if k.New != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// withDefaults fills unset numeric fields with the library-wide
+// defaults. Applying them here, inside New, guarantees every entry path
+// — daemon config, CLI, direct library use — builds structurally
+// identical (and therefore mergeable) estimators from equal logical
+// specs.
+func (s Spec) withDefaults() Spec {
+	if s.K == 0 {
+		s.K = 2
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.2
+	}
+	if s.Alpha == 0 {
+		s.Alpha = 0.05
+	}
+	if s.Budget == 0 {
+		s.Budget = 4096
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// New builds a fresh estimator for spec.Stat through the registry,
+// after filling unset spec fields with the library-wide defaults.
+func New(spec Spec) (Estimator, error) {
+	k, ok := Lookup(spec.Stat)
+	if !ok {
+		return nil, fmt.Errorf("estimator: unknown stat %q (want one of %s)",
+			spec.Stat, strings.Join(Stats(), " | "))
+	}
+	if k.New == nil {
+		return nil, fmt.Errorf("estimator: kind %q is decode-only", spec.Stat)
+	}
+	return k.New(spec.withDefaults())
+}
+
+// Decode reconstructs whichever registered estimator the payload's tag
+// byte names — the single entry point a collector needs to revive any
+// shipped summary. Unknown tags, like every other corruption, fail
+// cleanly.
+func Decode(data []byte) (Estimator, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("estimator: empty payload")
+	}
+	regMu.RLock()
+	k, ok := byTag[data[0]]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("estimator: unknown payload tag %#x", data[0])
+	}
+	return k.Decode(data)
+}
+
+// WriteKinds renders the registry as the table the CLIs print for
+// -list-estimators: one row per kind with its wire tag and description.
+func WriteKinds(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-5s %s\n", "NAME", "TAG", "DESCRIPTION")
+	for _, k := range Kinds() {
+		fmt.Fprintf(w, "%-14s 0x%02x  %s\n", k.Name, k.Tag, k.Doc)
+	}
+}
+
+// DecodeTyped lifts a package's typed unmarshal function into a registry
+// Decode hook: decode with full type safety, then adapt to the interface.
+func DecodeTyped[E Typed[E]](unmarshal func([]byte) (E, error)) func([]byte) (Estimator, error) {
+	return func(data []byte) (Estimator, error) {
+		e, err := unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return Adapt(e), nil
+	}
+}

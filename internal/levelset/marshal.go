@@ -1,9 +1,11 @@
 package levelset
 
 import (
+	"encoding"
 	"fmt"
 	"math"
 
+	"substream/internal/estimator"
 	"substream/internal/sketch"
 	"substream/internal/stream"
 )
@@ -240,36 +242,37 @@ func UnmarshalIWEstimator(data []byte) (*IWEstimator, error) {
 	return e, nil
 }
 
-// MarshalCollisionCounter serializes any of the package's collision
-// counters.
+// MarshalCollisionCounter serializes any collision counter with a wire
+// form.
 func MarshalCollisionCounter(c CollisionCounter) ([]byte, error) {
-	switch x := c.(type) {
-	case *ExactCounter:
-		return x.MarshalBinary()
-	case *Estimator:
-		return x.MarshalBinary()
-	case *IWEstimator:
-		return x.MarshalBinary()
-	default:
+	m, ok := c.(encoding.BinaryMarshaler)
+	if !ok {
 		return nil, fmt.Errorf("levelset: collision counter %T is not serializable", c)
 	}
+	return m.MarshalBinary()
 }
 
-// UnmarshalCollisionCounter dispatches on the payload tag and
-// reconstructs whichever collision counter was serialized.
+// UnmarshalCollisionCounter reconstructs whichever collision counter was
+// serialized, through the estimator registry. Only tags in the range this
+// package owns are eligible: the gate runs BEFORE decoding so a crafted
+// payload cannot nest a composite estimator (which itself embeds a
+// collision counter) and recurse the decoder to arbitrary depth.
 func UnmarshalCollisionCounter(data []byte) (CollisionCounter, error) {
 	tag, err := sketch.PayloadTag(data)
 	if err != nil {
 		return nil, err
 	}
-	switch tag {
-	case TagExactCounter:
-		return UnmarshalExactCounter(data)
-	case TagEstimator:
-		return UnmarshalEstimator(data)
-	case TagIWEstimator:
-		return UnmarshalIWEstimator(data)
-	default:
-		return nil, fmt.Errorf("levelset: unknown collision counter tag %#x", tag)
+	if tag < TagExactCounter || tag > TagExactCounter|0x0f {
+		return nil, fmt.Errorf("levelset: payload tag %#x is not a collision counter", tag)
 	}
+	e, err := estimator.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := estimator.Unwrap(e).(CollisionCounter)
+	if !ok {
+		return nil, fmt.Errorf("levelset: payload tag %#x decodes to %T, not a collision counter",
+			tag, estimator.Unwrap(e))
+	}
+	return c, nil
 }

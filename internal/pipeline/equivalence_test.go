@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"substream/internal/core"
+	"substream/internal/estimator"
 	"substream/internal/rng"
 	"substream/internal/sample"
 	"substream/internal/stream"
@@ -286,5 +287,60 @@ func TestShardedSamplingEndToEnd(t *testing.T) {
 	}
 	if kept := p.Kept(); relDiff(float64(kept), eqP*float64(len(s))) > 0.05 {
 		t.Fatalf("kept %d of %d items, want ≈%.0f", kept, len(s), eqP*float64(len(s)))
+	}
+}
+
+// TestInterfaceReplicasMatchConcrete proves the pipeline's replica
+// contract extends to the estimator registry's interface values: a
+// pipeline of estimator.Estimator replicas (what the daemon runs) must
+// produce exactly the estimates of a pipeline of the concrete type,
+// batch path and MergeAll included — the interface satisfies
+// Mergeable[estimator.Estimator], so nothing in this package special-
+// cases it.
+func TestInterfaceReplicasMatchConcrete(t *testing.T) {
+	L := sampledZipf(t)
+	spec := estimator.Spec{Stat: "fk", K: 2, P: eqP, Epsilon: 0.2, Exact: true, Seed: 41}
+
+	concrete := New(Config{Shards: 4, BatchSize: 512},
+		func(int) *core.FkEstimator {
+			return core.NewFkEstimator(core.FkConfig{K: 2, P: eqP, Epsilon: 0.2, Exact: true}, rng.New(41))
+		})
+	concrete.FeedSlice(L)
+	wantMerged, err := MergeAll(concrete)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iface := New(Config{Shards: 4, BatchSize: 512},
+		func(int) estimator.Estimator {
+			e, err := estimator.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		})
+	iface.FeedSlice(L)
+	gotMerged, err := MergeAll(iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := wantMerged.Estimates()
+	got := gotMerged.Estimates()
+	if len(got) != len(want) {
+		t.Fatalf("estimate sets differ: %v vs %v", got, want)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("interface pipeline %q = %v, concrete pipeline = %v", name, got[name], v)
+		}
+	}
+	// Foreign kinds must fail the merge, not corrupt it.
+	other, err := estimator.New(estimator.Spec{Stat: "f0", P: eqP, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gotMerged.Merge(other); err == nil {
+		t.Fatal("merging a foreign kind through the interface did not fail")
 	}
 }

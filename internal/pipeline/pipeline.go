@@ -11,7 +11,8 @@ import (
 )
 
 // Observer is the minimal per-item ingestion interface; every estimator
-// in internal/core, internal/sketch, and internal/levelset satisfies it.
+// in internal/core, internal/sketch, and internal/levelset satisfies it,
+// as does the interface type of the internal/estimator registry.
 type Observer interface {
 	Observe(it stream.Item)
 }
@@ -24,6 +25,9 @@ type BatchObserver interface {
 
 // Mergeable is satisfied by estimator types that can fold a structurally
 // identical replica into themselves — the contract MergeAll reduces over.
+// Concrete estimators satisfy Mergeable[*T] with their typed Merge;
+// estimator.Estimator satisfies Mergeable[estimator.Estimator] directly,
+// so registry-built replicas flow through MergeAll with no adaptation.
 type Mergeable[E any] interface {
 	Merge(other E) error
 }

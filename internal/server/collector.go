@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+
+	"substream/internal/estimator"
 )
 
 // Collector is the monitoring daemon's aggregation role: it retains the
@@ -31,7 +33,7 @@ type collectorStream struct {
 // estimator is the retained representation.
 type agentState struct {
 	sum     Summary
-	decoded any
+	decoded estimator.Estimator
 }
 
 // NewCollector builds a collector.
@@ -67,20 +69,18 @@ func (c *Collector) Accept(sum Summary) error {
 	if err := cfg.validate(); err != nil {
 		return fmt.Errorf("summary config: %w", err)
 	}
-	// Decode AND trial-fold eagerly: a corrupt payload, or one whose
-	// estimator disagrees with the declared config (wrong p, foreign
-	// hash seeds), is rejected at the door rather than poisoning every
-	// later estimate query. The decoded estimator — not the bytes — is
-	// what the collector retains.
-	fold, err := buildFolder(cfg)
-	if err != nil {
-		return err
-	}
-	decoded, err := fold.decode(sum.Payload)
+	// Decode through the registry's single entry point, then trial-fold
+	// eagerly: a corrupt payload, one of the wrong kind for the declared
+	// stat, or one whose estimator disagrees with the declared config
+	// (wrong p, foreign hash seeds) is rejected at the door rather than
+	// poisoning every later estimate query. The decoded estimator — not
+	// the bytes — is what the collector retains.
+	fold := buildFolder(cfg)
+	decoded, err := estimator.Decode(sum.Payload)
 	if err != nil {
 		return fmt.Errorf("summary payload: %w", err)
 	}
-	if _, err := fold.foldDecoded([]any{decoded}); err != nil {
+	if _, err := fold.foldDecoded([]estimator.Estimator{decoded}); err != nil {
 		return fmt.Errorf("summary payload does not match its declared config: %w", err)
 	}
 	sum.Payload = nil // retained via decoded; drop the byte copy
@@ -136,7 +136,7 @@ func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
 	}
 	sort.Strings(agents)
 	out := GlobalEstimate{Agents: len(agents)}
-	states := make([]any, len(agents))
+	states := make([]estimator.Estimator, len(agents))
 	for i, id := range agents {
 		state := st.agents[id]
 		states[i] = state.decoded

@@ -2,11 +2,11 @@ package server
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
-	"substream/internal/core"
+	"substream/internal/estimator"
 	"substream/internal/pipeline"
-	"substream/internal/rng"
 	"substream/internal/stream"
 )
 
@@ -16,7 +16,8 @@ import (
 // P, K, Epsilon, Alpha, Budget, Exact, Seed); Shards, Batch and
 // SampleSeed are local to each process.
 type StreamConfig struct {
-	// Stat selects the estimator: f0 | fk | entropy | hh1 | hh2 | all.
+	// Stat selects the estimator kind: any name registered with the
+	// internal/estimator registry (substreamd -list-estimators).
 	Stat string `json:"stat"`
 	// P is the Bernoulli sampling probability of the original stream.
 	P float64 `json:"p"`
@@ -26,7 +27,8 @@ type StreamConfig struct {
 	Epsilon float64 `json:"eps,omitempty"`
 	// Alpha is the heaviness threshold for hh1/hh2/all. Default 0.05.
 	Alpha float64 `json:"alpha,omitempty"`
-	// Budget bounds the level-set collision counter for "fk". Default 4096.
+	// Budget bounds counter-based summaries (level-set collision counter
+	// for "fk", top-k trackers). Default 4096.
 	Budget int `json:"budget,omitempty"`
 	// Exact selects the exact collision backend for "fk".
 	Exact bool `json:"exact,omitempty"`
@@ -69,12 +71,13 @@ func (c StreamConfig) withDefaults() StreamConfig {
 }
 
 // validate rejects configurations the estimator constructors would panic
-// on; HTTP input must never reach a panic.
+// on; HTTP input must never reach a panic. Stat membership comes from the
+// estimator registry, so a newly registered kind is accepted here with no
+// server change.
 func (c StreamConfig) validate() error {
-	switch c.Stat {
-	case "f0", "fk", "entropy", "hh1", "hh2", "all":
-	default:
-		return fmt.Errorf("unknown stat %q (want f0 | fk | entropy | hh1 | hh2 | all)", c.Stat)
+	if k, ok := estimator.Lookup(c.Stat); !ok || k.New == nil {
+		return fmt.Errorf("unknown stat %q (want one of %s)",
+			c.Stat, strings.Join(estimator.Stats(), " | "))
 	}
 	if !(c.P > 0 && c.P <= 1) {
 		return fmt.Errorf("p must be in (0, 1], got %v", c.P)
@@ -97,22 +100,24 @@ func (c StreamConfig) validate() error {
 	return nil
 }
 
+// spec projects the estimator-affecting fields into the registry's
+// construction input.
+func (c StreamConfig) spec() estimator.Spec {
+	return estimator.Spec{
+		Stat: c.Stat, P: c.P, K: c.K, Epsilon: c.Epsilon,
+		Alpha: c.Alpha, Budget: c.Budget, Exact: c.Exact, Seed: c.Seed,
+	}
+}
+
 // sharedEquals reports whether two configs agree on every field that
 // must match across agents for their summaries to merge.
 func (c StreamConfig) sharedEquals(o StreamConfig) bool {
-	return c.Stat == o.Stat && c.P == o.P && c.K == o.K &&
-		c.Epsilon == o.Epsilon && c.Alpha == o.Alpha &&
-		c.Budget == o.Budget && c.Exact == o.Exact && c.Seed == o.Seed
+	return c.spec() == o.spec()
 }
 
-// Estimates is the statistic report of one stream, local or global.
-type Estimates struct {
-	// Values holds scalar estimates keyed by statistic name.
-	Values map[string]float64 `json:"values"`
-	// F1Hitters and F2Hitters list detected heavy hitters (hh1/hh2/all).
-	F1Hitters []core.ReportedHitter `json:"f1_hitters,omitempty"`
-	F2Hitters []core.ReportedHitter `json:"f2_hitters,omitempty"`
-}
+// Estimates is the statistic report of one stream, local or global: the
+// estimator layer's named-value report, served as JSON.
+type Estimates = estimator.Report
 
 // Summary is the envelope an agent ships upstream: the agent's full
 // cumulative estimator state for one stream. Payload is the versioned
@@ -133,16 +138,6 @@ type Summary struct {
 	Payload []byte       `json:"payload"`
 }
 
-// binding ties a concrete estimator type to the five operations the
-// daemon needs: construct, merge, serialize, deserialize, report.
-type binding[E any] struct {
-	fresh     func() E
-	merge     func(dst, src E) error
-	marshal   func(E) ([]byte, error)
-	unmarshal func([]byte) (E, error)
-	estimates func(E) Estimates
-}
-
 // streamRunner is one agent-side stream: a running pipeline plus the
 // codec hooks the shipping path needs. Implementations are safe for
 // concurrent use. snapshot returns the serialized cumulative state
@@ -156,41 +151,48 @@ type streamRunner interface {
 	close()
 }
 
-// folder is the collector-side half of a binding. Payloads decode once
-// on arrival (decode); estimate queries fold the retained decoded states
-// into a fresh accumulator (foldDecoded), never mutating them, so one
-// decode serves every subsequent query.
-type folder interface {
-	decode(payload []byte) (any, error)
-	foldDecoded(states []any) (Estimates, error)
-}
-
-// runner implements streamRunner for one estimator type. The mutex
-// serializes the single-producer pipeline feed with the Sync-based
-// snapshot path, and guards the closed flag so an ingest racing a
-// DELETE (or shutdown) is dropped instead of panicking the pipeline.
-type runner[E any] struct {
-	b      binding[E]
+// runner implements streamRunner over the estimator registry: every
+// shard replica is an estimator.Estimator built from the stream's spec.
+// The mutex serializes the single-producer pipeline feed with the
+// Sync-based snapshot path, and guards the closed flag so an ingest
+// racing a DELETE (or shutdown) is dropped instead of panicking the
+// pipeline.
+type runner struct {
+	spec   estimator.Spec
 	mu     sync.Mutex
-	pl     *pipeline.Pipeline[E]
+	pl     *pipeline.Pipeline[estimator.Estimator]
 	closed bool
 }
 
-func newRunner[E any](cfg StreamConfig, b binding[E]) streamRunner {
+// buildRunner constructs the agent-side stream for a validated config.
+func buildRunner(cfg StreamConfig) (streamRunner, error) {
+	spec := cfg.spec()
+	// Probe-construct once so a bad spec surfaces as an error here, not
+	// a panic inside a pipeline worker.
+	if _, err := estimator.New(spec); err != nil {
+		return nil, err
+	}
 	sampleP := cfg.P
 	if cfg.Presampled {
 		sampleP = 0
 	}
-	pl := pipeline.New(pipeline.Config{
+	r := &runner{spec: spec}
+	r.pl = pipeline.New(pipeline.Config{
 		Shards:    cfg.Shards,
 		BatchSize: cfg.Batch,
 		SampleP:   sampleP,
 		Seed:      cfg.SampleSeed,
-	}, func(int) E { return b.fresh() })
-	return &runner[E]{b: b, pl: pl}
+	}, func(int) estimator.Estimator {
+		e, err := estimator.New(spec)
+		if err != nil {
+			panic(err) // unreachable: the probe construction above succeeded
+		}
+		return e
+	})
+	return r, nil
 }
 
-func (r *runner[E]) ingest(items stream.Slice) {
+func (r *runner) ingest(items stream.Slice) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -202,247 +204,90 @@ func (r *runner[E]) ingest(items stream.Slice) {
 // merged quiesces the pipeline and folds every shard replica into a
 // fresh accumulator, leaving the replicas untouched so ingestion can
 // continue. Callers must hold r.mu.
-func (r *runner[E]) merged() (E, error) {
+func (r *runner) merged() (estimator.Estimator, error) {
 	r.pl.Sync()
-	acc := r.b.fresh()
+	acc, err := estimator.New(r.spec)
+	if err != nil {
+		return nil, err
+	}
 	for _, rep := range r.pl.Replicas() {
-		if err := r.b.merge(acc, rep); err != nil {
-			return acc, err
+		if err := acc.Merge(rep); err != nil {
+			return nil, err
 		}
 	}
 	return acc, nil
 }
 
-func (r *runner[E]) estimates() (Estimates, error) {
+func (r *runner) estimates() (Estimates, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	acc, err := r.merged()
 	if err != nil {
 		return Estimates{}, err
 	}
-	return r.b.estimates(acc), nil
+	return estimator.ReportOf(acc), nil
 }
 
-func (r *runner[E]) snapshot() ([]byte, uint64, uint64, error) {
+func (r *runner) snapshot() ([]byte, uint64, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	acc, err := r.merged()
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	payload, err := r.b.marshal(acc)
+	payload, err := acc.MarshalBinary()
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return payload, r.pl.Fed(), r.pl.Kept(), nil
 }
 
-func (r *runner[E]) counts() (uint64, uint64) {
+func (r *runner) counts() (uint64, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pl.Fed(), r.pl.Kept()
 }
 
-func (r *runner[E]) close() {
+func (r *runner) close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true
 	r.pl.Close()
 }
 
-// folderImpl implements folder for one estimator type.
-type folderImpl[E any] struct{ b binding[E] }
-
-func (f folderImpl[E]) decode(payload []byte) (any, error) {
-	return f.b.unmarshal(payload)
+// folder is the collector-side half of a stream: payloads decode once on
+// arrival through the registry's Decode entry point, and estimate
+// queries fold the retained decoded states into a fresh accumulator
+// built from the stream's spec — never mutating them, so one decode
+// serves every subsequent query.
+type folder struct {
+	spec estimator.Spec
 }
 
-func (f folderImpl[E]) foldDecoded(states []any) (Estimates, error) {
+// buildFolder constructs the collector-side fold for a validated config.
+// Unlike buildRunner it needs no probe construction: folding builds its
+// accumulator lazily per query, and foldDecoded surfaces a bad spec as
+// an error, so Accept never pays a throwaway estimator per summary.
+func buildFolder(cfg StreamConfig) folder {
+	return folder{spec: cfg.spec()}
+}
+
+func (f folder) foldDecoded(states []estimator.Estimator) (Estimates, error) {
 	if len(states) == 0 {
 		return Estimates{}, fmt.Errorf("no summaries to fold")
 	}
 	// Merge into a fresh accumulator: Merge mutates only its receiver,
-	// so the retained per-agent states stay pristine across queries.
-	acc := f.b.fresh()
+	// so the retained per-agent states stay pristine across queries. A
+	// payload whose kind disagrees with the declared stat fails the
+	// type check inside Merge.
+	acc, err := estimator.New(f.spec)
+	if err != nil {
+		return Estimates{}, err
+	}
 	for _, s := range states {
-		e, ok := s.(E)
-		if !ok {
-			return Estimates{}, fmt.Errorf("retained state is %T, want %T", s, acc)
-		}
-		if err := f.b.merge(acc, e); err != nil {
+		if err := acc.Merge(s); err != nil {
 			return Estimates{}, err
 		}
 	}
-	return f.b.estimates(acc), nil
-}
-
-// --- per-stat bindings ---
-
-func f0Binding(cfg StreamConfig) binding[*core.F0Estimator] {
-	return binding[*core.F0Estimator]{
-		fresh: func() *core.F0Estimator {
-			return core.NewF0Estimator(core.F0Config{P: cfg.P}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.F0Estimator).Merge,
-		marshal:   (*core.F0Estimator).MarshalBinary,
-		unmarshal: core.UnmarshalF0Estimator,
-		estimates: func(e *core.F0Estimator) Estimates {
-			return Estimates{Values: map[string]float64{
-				"f0":          e.Estimate(),
-				"f0_sampled":  e.SampledEstimate(),
-				"error_bound": e.ErrorBound(),
-			}}
-		},
-	}
-}
-
-func fkBinding(cfg StreamConfig) binding[*core.FkEstimator] {
-	return binding[*core.FkEstimator]{
-		fresh: func() *core.FkEstimator {
-			return core.NewFkEstimator(core.FkConfig{
-				K: cfg.K, P: cfg.P, Epsilon: cfg.Epsilon,
-				Budget: cfg.Budget, Exact: cfg.Exact,
-			}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.FkEstimator).Merge,
-		marshal:   (*core.FkEstimator).MarshalBinary,
-		unmarshal: core.UnmarshalFkEstimator,
-		estimates: func(e *core.FkEstimator) Estimates {
-			vals := map[string]float64{
-				"sampled_length": float64(e.SampledLength()),
-			}
-			for l, phi := range e.Moments() {
-				if l >= 1 {
-					vals[fmt.Sprintf("f%d", l)] = phi
-				}
-			}
-			vals["fk"] = e.Estimate()
-			return Estimates{Values: vals}
-		},
-	}
-}
-
-func entropyBinding(cfg StreamConfig) binding[*core.EntropyEstimator] {
-	return binding[*core.EntropyEstimator]{
-		fresh: func() *core.EntropyEstimator {
-			// Plugin backend: the only entropy backend with a sound merge
-			// and therefore a wire form (see internal/core/marshal.go).
-			return core.NewEntropyEstimator(core.EntropyConfig{P: cfg.P}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.EntropyEstimator).Merge,
-		marshal:   (*core.EntropyEstimator).MarshalBinary,
-		unmarshal: core.UnmarshalEntropyEstimator,
-		estimates: func(e *core.EntropyEstimator) Estimates {
-			return Estimates{Values: map[string]float64{
-				"entropy":        e.Estimate(),
-				"sampled_length": float64(e.SampledLength()),
-			}}
-		},
-	}
-}
-
-func hh1Binding(cfg StreamConfig) binding[*core.F1HeavyHitters] {
-	return binding[*core.F1HeavyHitters]{
-		fresh: func() *core.F1HeavyHitters {
-			return core.NewF1HeavyHitters(core.F1HHConfig{
-				P: cfg.P, Alpha: cfg.Alpha, Epsilon: cfg.Epsilon,
-			}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.F1HeavyHitters).Merge,
-		marshal:   (*core.F1HeavyHitters).MarshalBinary,
-		unmarshal: core.UnmarshalF1HeavyHitters,
-		estimates: func(e *core.F1HeavyHitters) Estimates {
-			hitters := e.Report()
-			return Estimates{
-				Values:    map[string]float64{"hitters": float64(len(hitters))},
-				F1Hitters: hitters,
-			}
-		},
-	}
-}
-
-func hh2Binding(cfg StreamConfig) binding[*core.F2HeavyHitters] {
-	return binding[*core.F2HeavyHitters]{
-		fresh: func() *core.F2HeavyHitters {
-			return core.NewF2HeavyHitters(core.F2HHConfig{
-				P: cfg.P, Alpha: cfg.Alpha, Epsilon: cfg.Epsilon,
-			}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.F2HeavyHitters).Merge,
-		marshal:   (*core.F2HeavyHitters).MarshalBinary,
-		unmarshal: core.UnmarshalF2HeavyHitters,
-		estimates: func(e *core.F2HeavyHitters) Estimates {
-			hitters := e.Report()
-			return Estimates{
-				Values:    map[string]float64{"hitters": float64(len(hitters))},
-				F2Hitters: hitters,
-			}
-		},
-	}
-}
-
-func monitorBinding(cfg StreamConfig) binding[*core.Monitor] {
-	return binding[*core.Monitor]{
-		fresh: func() *core.Monitor {
-			return core.NewMonitor(core.MonitorConfig{
-				P: cfg.P, K: cfg.K, Epsilon: cfg.Epsilon, HHAlpha: cfg.Alpha,
-			}, rng.New(cfg.Seed))
-		},
-		merge:     (*core.Monitor).Merge,
-		marshal:   (*core.Monitor).MarshalBinary,
-		unmarshal: core.UnmarshalMonitor,
-		estimates: func(m *core.Monitor) Estimates {
-			rep := m.Report()
-			return Estimates{
-				Values: map[string]float64{
-					"n":       rep.EstimatedLength,
-					"fk":      rep.Fk,
-					"f0":      rep.F0,
-					"entropy": rep.Entropy,
-				},
-				F1Hitters: rep.F1HeavyHitters,
-				F2Hitters: rep.F2HeavyHitters,
-			}
-		},
-	}
-}
-
-// buildRunner constructs the agent-side stream for a validated config.
-func buildRunner(cfg StreamConfig) (streamRunner, error) {
-	switch cfg.Stat {
-	case "f0":
-		return newRunner(cfg, f0Binding(cfg)), nil
-	case "fk":
-		return newRunner(cfg, fkBinding(cfg)), nil
-	case "entropy":
-		return newRunner(cfg, entropyBinding(cfg)), nil
-	case "hh1":
-		return newRunner(cfg, hh1Binding(cfg)), nil
-	case "hh2":
-		return newRunner(cfg, hh2Binding(cfg)), nil
-	case "all":
-		return newRunner(cfg, monitorBinding(cfg)), nil
-	default:
-		return nil, fmt.Errorf("unknown stat %q", cfg.Stat)
-	}
-}
-
-// buildFolder constructs the collector-side fold for a validated config.
-func buildFolder(cfg StreamConfig) (folder, error) {
-	switch cfg.Stat {
-	case "f0":
-		return folderImpl[*core.F0Estimator]{b: f0Binding(cfg)}, nil
-	case "fk":
-		return folderImpl[*core.FkEstimator]{b: fkBinding(cfg)}, nil
-	case "entropy":
-		return folderImpl[*core.EntropyEstimator]{b: entropyBinding(cfg)}, nil
-	case "hh1":
-		return folderImpl[*core.F1HeavyHitters]{b: hh1Binding(cfg)}, nil
-	case "hh2":
-		return folderImpl[*core.F2HeavyHitters]{b: hh2Binding(cfg)}, nil
-	case "all":
-		return folderImpl[*core.Monitor]{b: monitorBinding(cfg)}, nil
-	default:
-		return nil, fmt.Errorf("unknown stat %q", cfg.Stat)
-	}
+	return estimator.ReportOf(acc), nil
 }

@@ -30,16 +30,24 @@
 //
 //   - Every payload starts with a one-byte TYPE TAG and a one-byte
 //     FORMAT VERSION (sketch.WireVersion, currently 1).
+//   - Tag assignments are owned by the internal/estimator registry: each
+//     serializable type Registers its tag, name, decoder, and constructor
+//     from its own package, and estimator.Kinds() (surfaced as
+//     `substreamd -list-estimators`) is the authoritative list. The
+//     table below mirrors the registry for operator reference and is
+//     pinned to it by TestRegistryMatchesWireTable.
 //   - Tag ranges are partitioned by package: internal/sketch owns
-//     0x01–0x0f (CountMin 0x01, CountSketch 0x02, KMV 0x03, HLL 0x04,
-//     SpaceSaving 0x05, MisraGries 0x06, TopK 0x07), internal/levelset
-//     owns 0x10–0x1f (ExactCounter 0x10, Estimator 0x11, IWEstimator
-//     0x12), and internal/core owns 0x20–0x2f (Fk 0x20, F0 0x21,
-//     Entropy 0x22, F1HH 0x23, F2HH 0x24, Monitor 0x25, GEE-F0 0x26).
+//     0x01–0x0f (countmin 0x01, countsketch 0x02, kmv 0x03, hll 0x04,
+//     spacesaving 0x05, misragries 0x06, topk 0x07), internal/levelset
+//     owns 0x10–0x1f (exactcounter 0x10, levelset 0x11, iw 0x12), and
+//     internal/core owns 0x20–0x2f (fk 0x20, f0 0x21, entropy 0x22,
+//     hh1 0x23, hh2 0x24, all 0x25, gee 0x26).
 //   - Decoders reject unknown tags, unknown versions, truncated input,
 //     trailing bytes, and any length field larger than the remaining
 //     buffer could hold — corrupt input must fail cleanly, never panic
-//     or over-allocate.
+//     or over-allocate. Composite payloads gate nested tags to the
+//     range the component may come from before decoding, so crafted
+//     input cannot recurse the decoder.
 //   - Hash functions serialize as their polynomial coefficients, so a
 //     decoded summary is bit-identical to its source and remains
 //     mergeable with summaries from identically-seeded replicas; merge
@@ -53,3 +61,9 @@
 // field of StreamConfig — the daemon-level rendering of the library rule
 // that replicas must be constructed from generators at identical state.
 package server
+
+// The daemon speaks whatever the estimator registry holds; linking
+// internal/core (which pulls internal/levelset and internal/sketch) is
+// what populates it with the standard kinds. Embedders adding their own
+// kinds just import the registering package before starting the daemon.
+import _ "substream/internal/core"

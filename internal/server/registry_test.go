@@ -1,0 +1,73 @@
+package server
+
+import (
+	"testing"
+
+	"substream/internal/estimator"
+)
+
+// TestRegistryMatchesWireTable pins the estimator registry — the single
+// source of tag assignments — to the wire-format table documented in
+// doc.go. Editing either side without the other fails here, keeping the
+// operator documentation honest.
+func TestRegistryMatchesWireTable(t *testing.T) {
+	want := []struct {
+		tag  byte
+		name string
+	}{
+		// internal/sketch: 0x01–0x0f
+		{0x01, "countmin"}, {0x02, "countsketch"}, {0x03, "kmv"}, {0x04, "hll"},
+		{0x05, "spacesaving"}, {0x06, "misragries"}, {0x07, "topk"},
+		// internal/levelset: 0x10–0x1f
+		{0x10, "exactcounter"}, {0x11, "levelset"}, {0x12, "iw"},
+		// internal/core: 0x20–0x2f
+		{0x20, "fk"}, {0x21, "f0"}, {0x22, "entropy"}, {0x23, "hh1"},
+		{0x24, "hh2"}, {0x25, "all"}, {0x26, "gee"},
+	}
+	kinds := estimator.Kinds()
+	if len(kinds) != len(want) {
+		t.Fatalf("registry holds %d kinds, doc.go table lists %d", len(kinds), len(want))
+	}
+	for i, w := range want {
+		if kinds[i].Tag != w.tag || kinds[i].Name != w.name {
+			t.Errorf("registry[%d] = (%#x, %q), doc.go table says (%#x, %q)",
+				i, kinds[i].Tag, kinds[i].Name, w.tag, w.name)
+		}
+	}
+	// Package range ownership from doc.go.
+	for _, k := range kinds {
+		var lo, hi byte
+		switch {
+		case k.Tag <= 0x0f:
+			lo, hi = 0x01, 0x0f
+		case k.Tag <= 0x1f:
+			lo, hi = 0x10, 0x1f
+		default:
+			lo, hi = 0x20, 0x2f
+		}
+		if k.Tag < lo || k.Tag > hi {
+			t.Errorf("kind %q tag %#x escapes its package range [%#x, %#x]", k.Name, k.Tag, lo, hi)
+		}
+	}
+}
+
+// TestValidateAcceptsEveryRegisteredStat proves stream configuration is
+// registry-driven: every constructible kind is a legal stat with the
+// stock defaults, with no server-side enumeration to update.
+func TestValidateAcceptsEveryRegisteredStat(t *testing.T) {
+	for _, stat := range estimator.Stats() {
+		cfg := StreamConfig{Stat: stat, P: 0.5}.withDefaults()
+		if err := cfg.validate(); err != nil {
+			t.Errorf("stat %q rejected: %v", stat, err)
+		}
+		run, err := buildRunner(cfg)
+		if err != nil {
+			t.Errorf("stat %q: buildRunner: %v", stat, err)
+			continue
+		}
+		run.close()
+	}
+	if err := (StreamConfig{Stat: "bogus", P: 0.5}.withDefaults()).validate(); err == nil {
+		t.Error("unregistered stat accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Registry-level fuzzing lives in an external test package so the full
+// standard registry (core pulls levelset and this package) can be linked
+// without an import cycle: estimator.Decode must hold the no-panic
+// contract across EVERY registered tag, including the composite payloads
+// that nest other kinds.
+package sketch_test
+
+import (
+	"testing"
+
+	"substream/internal/estimator"
+	"substream/internal/sketch"
+	"substream/internal/stream"
+
+	_ "substream/internal/core"
+)
+
+// registryCorpus builds one well-formed payload per constructible kind,
+// each carrying a little state, plus degenerate seeds.
+func registryCorpus(tb testing.TB) [][]byte {
+	var corpus [][]byte
+	for _, k := range estimator.Kinds() {
+		if k.New == nil {
+			continue
+		}
+		// Generous error/heaviness targets keep the summaries small: the
+		// sweep below is quadratic-ish in payload size, and the race-
+		// enabled CI run pays ~10x per decode.
+		e, err := estimator.New(estimator.Spec{
+			Stat: k.Name, P: 0.5, K: 2, Epsilon: 0.5, Alpha: 0.3, Budget: 16, Seed: 3,
+		})
+		if err != nil {
+			tb.Fatalf("kind %q: %v", k.Name, err)
+		}
+		for i := 0; i < 200; i++ {
+			e.Observe(stream.Item(i%23 + 1))
+		}
+		payload, err := e.MarshalBinary()
+		if err != nil {
+			tb.Fatalf("kind %q: marshal: %v", k.Name, err)
+		}
+		corpus = append(corpus, payload)
+	}
+	// Decode-only kinds (topk) have no Spec constructor; seed their tags
+	// by hand so the fuzzer explores them too.
+	tk := sketch.NewTopK(8)
+	for i := 0; i < 20; i++ {
+		tk.Update(stream.Item(i+1), float64(i))
+	}
+	payload, err := tk.MarshalBinary()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	corpus = append(corpus, payload, []byte{}, []byte{0x20}, []byte{0xff, 0xff, 0xff, 0xff})
+	return corpus
+}
+
+// FuzzEstimatorDecode feeds arbitrary bytes to the registry's single
+// decode entry point — the exact surface a collector exposes to the
+// network. Any input must either fail cleanly or produce a usable,
+// re-serializable estimator; no tag may panic or over-allocate.
+func FuzzEstimatorDecode(f *testing.F) {
+	for _, payload := range registryCorpus(f) {
+		f.Add(payload)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := estimator.Decode(data)
+		if err != nil {
+			return
+		}
+		// A decoded estimator must be usable across the whole contract.
+		e.Observe(stream.Item(1))
+		e.UpdateBatch([]stream.Item{2, 3, 2})
+		_ = e.Estimates()
+		_ = estimator.ReportOf(e)
+		if e.SpaceBytes() < 0 {
+			t.Fatal("negative space estimate")
+		}
+		if _, err := e.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal of a decoded estimator failed: %v", err)
+		}
+	})
+}
+
+// TestDecodeTruncationsAcrossRegistry replays the per-package truncation
+// harness at the registry level: strict prefixes of every kind's payload
+// must be rejected by Decode, and byte corruptions must at worst error.
+// Cut and corruption points are strided so the sweep stays linear in the
+// largest payload (the per-package harnesses cover every offset of the
+// small ones exhaustively).
+func TestDecodeTruncationsAcrossRegistry(t *testing.T) {
+	for _, payload := range registryCorpus(t) {
+		if len(payload) == 0 {
+			continue
+		}
+		stride := 1 + len(payload)/128
+		for cut := 0; cut < len(payload); cut += stride {
+			if _, err := estimator.Decode(payload[:cut]); err == nil {
+				t.Fatalf("tag %#x: accepted a %d/%d-byte truncation", payload[0], cut, len(payload))
+			}
+		}
+		for i := 0; i < len(payload); i += stride {
+			mutated := append([]byte{}, payload...)
+			mutated[i] ^= 0xa5
+			// May or may not decode; must not panic.
+			if e, err := estimator.Decode(mutated); err == nil {
+				e.Observe(stream.Item(1))
+			}
+		}
+	}
+}

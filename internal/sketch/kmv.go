@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"container/heap"
 	"math"
 	"math/bits"
 
@@ -22,20 +21,13 @@ type KMV struct {
 	seen map[uint64]struct{} // hash values currently in the heap
 }
 
-// hashMaxHeap is a max-heap of 61-bit hash values.
+// hashMaxHeap is a max-heap of 61-bit hash values, maintained by the
+// typed pushHash/popHash helpers in merge.go. A container/heap interface
+// would box every value through interface{}, one allocation per admitted
+// item on the distinct-count hot path.
 type hashMaxHeap []uint64
 
-func (h hashMaxHeap) Len() int            { return len(h) }
-func (h hashMaxHeap) Less(i, j int) bool  { return h[i] > h[j] }
-func (h hashMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hashMaxHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *hashMaxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}
+func (h hashMaxHeap) Len() int { return len(h) }
 
 // NewKMV returns a KMV estimator retaining k minimum values. It panics if
 // k < 2 (the estimator needs at least two values).
@@ -66,21 +58,7 @@ func NewKMVWithError(epsilon float64, r *rng.Xoshiro256) *KMV {
 // Observe feeds one item. Duplicate items hash identically and are
 // deduplicated, so only distinct items affect the state.
 func (s *KMV) Observe(it stream.Item) {
-	hv := s.h.Hash(uint64(it))
-	if _, dup := s.seen[hv]; dup {
-		return
-	}
-	if s.heap.Len() < s.k {
-		s.seen[hv] = struct{}{}
-		heap.Push(&s.heap, hv)
-		return
-	}
-	if hv < s.heap[0] {
-		evicted := heap.Pop(&s.heap).(uint64)
-		delete(s.seen, evicted)
-		s.seen[hv] = struct{}{}
-		heap.Push(&s.heap, hv)
-	}
+	s.admitHash(s.h.Hash(uint64(it)))
 }
 
 // Estimate returns the distinct-count estimate. With fewer than k

@@ -237,6 +237,26 @@ func (ss *SpaceSaving) Merge(other *SpaceSaving) error {
 	return nil
 }
 
+// Merge folds other into t: counts of items tracked on both sides add
+// (each side saw its own occurrences), and foreign-only entries compete
+// for admission at their shipped count. Like the standalone Observe path
+// this is approximate — an item evicted on both sides is gone — but it
+// keeps the k largest combined counts of what either side retained.
+func (t *TopK) Merge(other *TopK) error {
+	if t.k != other.k {
+		return fmt.Errorf("%w: TopK k %d vs %d", ErrIncompatible, t.k, other.k)
+	}
+	for _, e := range other.h {
+		if pos, ok := t.index[e.item]; ok {
+			t.h[pos].count += e.count
+			t.fix(pos)
+		} else {
+			t.Update(e.item, e.count)
+		}
+	}
+	return nil
+}
+
 // quickselectDesc returns the value of rank `rank` (0-based) in
 // descending order, i.e. rank 0 is the maximum. It partially sorts vals.
 func quickselectDesc(vals []uint64, rank int) uint64 {

@@ -1,7 +1,6 @@
 package sketch
 
 import (
-	"container/heap"
 	"sort"
 
 	"substream/internal/stream"
@@ -22,22 +21,10 @@ type tkEntry struct {
 	count float64
 }
 
+// tkHeap is a min-heap on count, maintained by the hand-rolled sift code
+// below (rather than container/heap) because every swap must also update
+// the index map.
 type tkHeap []tkEntry
-
-func (h tkHeap) Len() int           { return len(h) }
-func (h tkHeap) Less(i, j int) bool { return h[i].count < h[j].count }
-
-// Swap keeps the index map in sync; it is wired in via the outer type.
-func (h tkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *tkHeap) Push(x interface{}) { *h = append(*h, x.(tkEntry)) }
-func (h *tkHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
 
 // NewTopK returns a tracker for the k largest counts. It panics if k < 1.
 func NewTopK(k int) *TopK {
@@ -69,9 +56,6 @@ func (t *TopK) Update(it stream.Item, count float64) {
 		t.down(0)
 	}
 }
-
-// The heap is hand-rolled (rather than container/heap) because sift
-// operations must maintain the index map on every swap.
 
 func (t *TopK) up(i int) {
 	for i > 0 {
@@ -131,6 +115,9 @@ func (t *TopK) Min() float64 {
 // Len returns the number of tracked items.
 func (t *TopK) Len() int { return len(t.h) }
 
+// SpaceBytes returns the approximate memory footprint.
+func (t *TopK) SpaceBytes() int { return 48 * t.k }
+
 // Entry is a tracked item with its estimated count.
 type Entry struct {
 	Item  stream.Item
@@ -153,6 +140,25 @@ func (t *TopK) Items() []Entry {
 	return out
 }
 
-// interface guard: tkHeap still satisfies heap.Interface so tests can
-// cross-check the hand-rolled sift code against container/heap.
-var _ heap.Interface = (*tkHeap)(nil)
+// Observe counts one occurrence of it: a tracked item's count
+// increments, an untracked one competes for entry at count 1 — which a
+// full heap of count >= 1 entries always rejects, so an item that first
+// appears after the heap fills is never admitted no matter how frequent
+// it becomes. Observe exists so decoded trackers satisfy the estimator
+// contract; for counting top-k from a raw stream use SpaceSaving, and
+// the heavy-hitter estimators drive Update with sketch-backed scores.
+func (t *TopK) Observe(it stream.Item) {
+	if pos, ok := t.index[it]; ok {
+		t.h[pos].count++
+		t.fix(pos)
+		return
+	}
+	t.Update(it, 1)
+}
+
+// UpdateBatch feeds a batch of single occurrences.
+func (t *TopK) UpdateBatch(items []stream.Item) {
+	for _, it := range items {
+		t.Observe(it)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"substream/internal/core"
 	"substream/internal/estimator"
@@ -23,6 +24,7 @@ import (
 	"substream/internal/sample"
 	"substream/internal/server"
 	"substream/internal/stream"
+	"substream/internal/window"
 	"substream/internal/workload"
 )
 
@@ -267,6 +269,78 @@ func benchmarkDecode(b *testing.B, stat string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := estimator.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(payload)), "bytes/summary")
+}
+
+// --- windowed estimation (internal/window) ---
+
+// windowedEstimator builds a W-epoch ring over stat, its traffic spread
+// across W epochs on a manual clock.
+func windowedEstimator(b *testing.B, stat string, w int) estimator.Estimator {
+	b.Helper()
+	clock := window.NewManualClock()
+	e, err := window.Wrap(window.Config{
+		Window: w, EpochLen: time.Second, Clock: clock,
+		New: func() (estimator.Estimator, error) {
+			return estimator.New(estimator.Spec{
+				Stat: stat, P: 0.2, K: 2, Epsilon: 0.2, Alpha: 0.05, Budget: 4096, Seed: 11,
+			})
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := sampledZipf(1<<15, 0.2)
+	per := len(items) / w
+	for ep := 0; ep < w; ep++ {
+		clock.Set(uint64(ep))
+		e.UpdateBatch(items[ep*per : (ep+1)*per])
+	}
+	return e
+}
+
+// BenchmarkWindowIngestF0 prices the wrapper's ingest tax: every batch
+// feeds the current generation AND the cumulative replica, so the floor
+// is 2x the raw estimator's batch cost plus a clock check.
+func BenchmarkWindowIngestF0(b *testing.B) {
+	e := windowedEstimator(b, "f0", 4)
+	batch := sampledZipf(4096, 0.2)
+	b.SetBytes(8 * int64(len(batch)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.UpdateBatch(batch)
+	}
+}
+
+// BenchmarkWindowEstimateF0 prices a window query: decode the pristine
+// replica, merge W generations, report.
+func BenchmarkWindowEstimateF0(b *testing.B) {
+	e := windowedEstimator(b, "f0", 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if est := e.Estimates(); est["window_f0"] <= 0 {
+			b.Fatal("degenerate window estimate")
+		}
+	}
+}
+
+// BenchmarkWindowMarshalF0 prices a windowed flush, wire size included
+// (W+2 nested payloads vs benchmarkMarshal's one).
+func BenchmarkWindowMarshalF0(b *testing.B) {
+	e := windowedEstimator(b, "f0", 4)
+	payload, err := e.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.MarshalBinary(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,6 +18,26 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+func TestListEstimators(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list-estimators"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"fk", "0x20", "countmin", "MODE"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
+		}
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "topk") {
+			if !strings.Contains(line, "decode-only") {
+				t.Fatalf("decode-only kind unmarked: %q", line)
+			}
+		}
+	}
+}
+
 func TestRunSingleExperimentSmoke(t *testing.T) {
 	var out strings.Builder
 	// A tiny-scale single-trial run of one experiment exercises the whole

@@ -15,10 +15,16 @@
 // the replicas are merged into one estimate — the single-machine version
 // of the distributed-monitor deployment.
 //
+// With -window W the estimator is wrapped in an epoch ring
+// (internal/window): the input is replayed in epochs of -epoch items,
+// and alongside the cumulative estimates the output carries
+// "window_"-prefixed estimates covering only the last W epochs — the
+// batch-replay twin of the daemon's time-based windows.
+//
 // Usage:
 //
 //	substream -stat f2 -p 0.1 [-input stream.txt] [-k 3] [-alpha 0.05]
-//	          [-shards 4] [-batch 1024]
+//	          [-shards 4] [-batch 1024] [-window 3 -epoch 10000]
 //	substream -list-estimators
 package main
 
@@ -28,12 +34,14 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"substream/internal/core"
 	"substream/internal/estimator"
 	"substream/internal/pipeline"
 	"substream/internal/rng"
 	"substream/internal/stream"
+	"substream/internal/window"
 )
 
 // options carries every CLI flag; tests drive run with a literal.
@@ -49,6 +57,8 @@ type options struct {
 	budget int
 	shards int
 	batch  int
+	window int
+	epoch  int
 	list   bool
 }
 
@@ -65,6 +75,8 @@ func main() {
 	flag.IntVar(&opt.budget, "budget", 4096, "level-set budget for fk")
 	flag.IntVar(&opt.shards, "shards", 1, "pipeline shard workers (1 = sequential)")
 	flag.IntVar(&opt.batch, "batch", 1024, "pipeline batch size")
+	flag.IntVar(&opt.window, "window", 0, "window span in epochs (0 = cumulative only)")
+	flag.IntVar(&opt.epoch, "epoch", 10000, "items per epoch for -window")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list registered estimator kinds and exit")
 	flag.Parse()
 
@@ -107,6 +119,12 @@ func run(w io.Writer, opt options) error {
 	if opt.shards < 1 || opt.batch < 1 {
 		return fmt.Errorf("shards and batch must be >= 1, got %d and %d", opt.shards, opt.batch)
 	}
+	if opt.window < 0 || opt.window > window.MaxWindow {
+		return fmt.Errorf("window must be in [0, %d], got %d", window.MaxWindow, opt.window)
+	}
+	if opt.window > 0 && opt.epoch < 1 {
+		return fmt.Errorf("epoch must be >= 1 item, got %d", opt.epoch)
+	}
 
 	r := rng.New(opt.seed)
 	// Every estimator replica is constructed from this one spec (seed
@@ -123,6 +141,27 @@ func run(w io.Writer, opt options) error {
 	f := stream.NewFreq(s)
 	fmt.Fprintf(w, "original stream: n=%d distinct=%d\n", len(s), f.F0())
 
+	// With -window the replicas are epoch rings sharing one manual clock
+	// the feed loop advances every -epoch items — count-driven epochs,
+	// the batch-replay twin of the daemon's wall-clock ones.
+	newInner := func() (estimator.Estimator, error) { return estimator.New(spec) }
+	newReplica := newInner
+	var clock *window.ManualClock
+	if opt.window > 0 {
+		clock = window.NewManualClock()
+		newReplica = func() (estimator.Estimator, error) {
+			return window.Wrap(window.Config{
+				Window:   opt.window,
+				EpochLen: time.Duration(opt.epoch),
+				Clock:    clock,
+				New:      newInner,
+			})
+		}
+		if _, err := newReplica(); err != nil {
+			return err
+		}
+	}
+
 	// Both shard counts Bernoulli-sample at opt.p inside the pipeline
 	// workers, so -shards 1 reproduces the classic sequential monitor and
 	// -shards N merely spreads the same work across cores.
@@ -132,19 +171,33 @@ func run(w io.Writer, opt options) error {
 		SampleP:   opt.p,
 		Seed:      r.Uint64(),
 	}, func(int) estimator.Estimator {
-		e, err := estimator.New(spec)
+		e, err := newReplica()
 		if err != nil {
 			panic(err) // unreachable: spec probe-constructed above
 		}
 		return e
 	})
-	pl.FeedSlice(s)
+	if clock == nil {
+		pl.FeedSlice(s)
+	} else {
+		for start := 0; start < len(s); start += opt.epoch {
+			// Quiesce before each boundary so every queued batch lands in
+			// its own epoch, then rotate and feed the next slice.
+			pl.Sync()
+			clock.Set(uint64(start / opt.epoch))
+			pl.FeedSlice(s[start:min(start+opt.epoch, len(s))])
+		}
+	}
 	merged, err := pipeline.MergeAll(pl)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "sampled |L|=%d (p=%g, shards=%d, batch=%d)\n",
 		pl.Kept(), opt.p, opt.shards, opt.batch)
+	if clock != nil {
+		fmt.Fprintf(w, "windowed: last %d epochs of %d items each (final epoch %d); window_* rows below\n",
+			opt.window, opt.epoch, clock.Epoch())
+	}
 
 	// The paper's headline kinds report estimate vs exact with their
 	// analytic bounds; any other registered kind prints its named

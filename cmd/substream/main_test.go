@@ -121,6 +121,29 @@ func TestRunHH1FindsPlantedHitters(t *testing.T) {
 	}
 }
 
+// TestRunWindowed drives the epoch-ring path: the output must carry the
+// windowed header plus both cumulative and window_-prefixed estimates,
+// sequentially and sharded.
+func TestRunWindowed(t *testing.T) {
+	path := writeStreamFile(t, workload.Zipf(20000, 500, 1.1, 1))
+	for _, shards := range []int{1, 4} {
+		var out bytes.Buffer
+		opt := baseOpts("f0", path)
+		opt.shards = shards
+		opt.window = 2
+		opt.epoch = 5000
+		if err := run(&out, opt); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := out.String()
+		for _, want := range []string{"windowed: last 2 epochs", "final epoch 3", "window_f0 estimate", "f0 estimate"} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("shards=%d: windowed output missing %q:\n%s", shards, want, got)
+			}
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeStreamFile(t, workload.Zipf(1000, 50, 1.0, 3))
 	cases := []struct {
@@ -132,6 +155,8 @@ func TestRunErrors(t *testing.T) {
 		{"missing file", func(o *options) { o.input = path + ".nope" }},
 		{"bad shards", func(o *options) { o.shards = 0 }},
 		{"bad batch", func(o *options) { o.batch = -1 }},
+		{"bad window", func(o *options) { o.window = -1 }},
+		{"bad epoch", func(o *options) { o.window = 2; o.epoch = 0 }},
 	}
 	for _, c := range cases {
 		opt := baseOpts("f0", path)
@@ -158,9 +183,18 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin"} {
+	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin", "window", "0x30"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
+		}
+	}
+	// Decode-only kinds are marked so operators know they cannot back a
+	// -stat flag or stream config.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "topk") || strings.HasPrefix(line, "window") {
+			if !strings.Contains(line, "decode-only") {
+				t.Fatalf("decode-only kind unmarked: %q", line)
+			}
 		}
 	}
 }

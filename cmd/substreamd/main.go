@@ -11,14 +11,17 @@
 //	           -streams '{"flows": {"stat": "f0", "p": 0.05, "seed": 42}}'
 //
 // Collector mode accepts shipped summaries and serves the merged global
-// estimate:
+// estimate; -max-summary-age stops long-dead agents from haunting it:
 //
-//	substreamd -role collector -listen :8081
+//	substreamd -role collector -listen :8081 -max-summary-age 5m
 //
 // The -streams flag takes either inline JSON ({"name": {config...}}) or
-// a path to a JSON file of the same shape. Both roles serve /healthz and
-// /metricsz and shut down gracefully on SIGINT/SIGTERM (agents perform a
-// final flush first).
+// a path to a JSON file of the same shape; stream configs may set
+// "window"/"epoch" for epoch-ring windowed estimation, and the agent
+// flags -window/-epoch apply fleet-wide defaults to streams that set
+// none. Both roles serve /healthz and /metricsz and shut down gracefully
+// on SIGINT/SIGTERM (agents perform a final flush first, bounded by
+// -flush-timeout).
 package main
 
 import (
@@ -40,13 +43,17 @@ import (
 
 // options carries every CLI flag; tests drive run with a literal.
 type options struct {
-	role     string
-	listen   string
-	upstream string
-	id       string
-	flush    time.Duration
-	streams  string
-	list     bool
+	role          string
+	listen        string
+	upstream      string
+	id            string
+	flush         time.Duration
+	flushTimeout  time.Duration
+	streams       string
+	window        int
+	epoch         time.Duration
+	maxSummaryAge time.Duration
+	list          bool
 }
 
 func main() {
@@ -56,7 +63,11 @@ func main() {
 	flag.StringVar(&opt.upstream, "upstream", "", "collector base URL (agent mode)")
 	flag.StringVar(&opt.id, "id", "", "agent identity (default: hostname-pid)")
 	flag.DurationVar(&opt.flush, "flush", 10*time.Second, "summary shipping interval (agent mode)")
+	flag.DurationVar(&opt.flushTimeout, "flush-timeout", 5*time.Second, "bound on the final shutdown flush (agent mode)")
 	flag.StringVar(&opt.streams, "streams", "", "stream registry: inline JSON or a JSON file path (agent mode)")
+	flag.IntVar(&opt.window, "window", 0, "default window span in epochs for streams that set none (agent mode; 0 = cumulative only)")
+	flag.DurationVar(&opt.epoch, "epoch", time.Minute, "default epoch duration for windowed streams that set none (agent mode)")
+	flag.DurationVar(&opt.maxSummaryAge, "max-summary-age", 0, "exclude agents whose last summary is older from global estimates (collector mode; 0 = never)")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list the estimator kinds streams may declare and exit")
 	flag.Parse()
 
@@ -65,6 +76,24 @@ func main() {
 	if err := run(ctx, opt, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "substreamd:", err)
 		os.Exit(1)
+	}
+}
+
+// applyWindowDefaults folds the -window/-epoch fleet defaults into the
+// stream registry: -window supplies a span to streams that declare
+// none, and -epoch supplies the epoch to any WINDOWED stream (own or
+// inherited span) that declares none. Explicit per-stream values always
+// win, so a fleet restart with different flags never changes a pinned
+// stream's merge identity.
+func applyWindowDefaults(streams map[string]server.StreamConfig, window int, epoch time.Duration) {
+	for name, cfg := range streams {
+		if cfg.Window == 0 && window > 0 {
+			cfg.Window = window
+		}
+		if cfg.Window > 0 && cfg.Epoch == 0 && epoch > 0 {
+			cfg.Epoch = server.Duration(epoch)
+		}
+		streams[name] = cfg
 	}
 }
 
@@ -107,7 +136,7 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 }
 
 func runCollector(ctx context.Context, opt options, w io.Writer) error {
-	collector := server.NewCollector()
+	collector := server.NewCollector(server.CollectorConfig{MaxSummaryAge: opt.maxSummaryAge})
 	srv, err := server.Start(opt.listen, collector.Handler())
 	if err != nil {
 		return err
@@ -130,11 +159,13 @@ func runAgent(ctx context.Context, opt options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	applyWindowDefaults(streams, opt.window, opt.epoch)
 	agent := server.NewAgent(server.AgentConfig{
-		ID:            id,
-		Upstream:      opt.upstream,
-		FlushInterval: opt.flush,
-		Logf:          log.Printf,
+		ID:                   id,
+		Upstream:             opt.upstream,
+		FlushInterval:        opt.flush,
+		ShutdownFlushTimeout: opt.flushTimeout,
+		Logf:                 log.Printf,
 	})
 	for name, cfg := range streams {
 		if err := agent.CreateStream(name, cfg); err != nil {

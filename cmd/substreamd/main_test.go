@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"substream/internal/server"
 )
 
 // syncBuffer is an io.Writer the daemon goroutine and the test can share.
@@ -136,6 +138,95 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonWindowDefaults boots an agent with the -window/-epoch fleet
+// defaults and checks the shipped global estimate answers both scopes.
+func TestDaemonWindowDefaults(t *testing.T) {
+	collectorURL, stopCollector := startDaemon(t, options{role: "collector", maxSummaryAge: time.Hour})
+	agentURL, stopAgent := startDaemon(t, options{
+		role:     "agent",
+		id:       "windowed-agent",
+		upstream: collectorURL,
+		flush:    50 * time.Millisecond,
+		window:   3,
+		epoch:    time.Hour, // one epoch spans the whole test
+		streams:  `{"flows": {"stat": "f0", "p": 0.5, "seed": 7, "presampled": true}}`,
+	})
+
+	resp, err := http.Post(agentURL+"/v1/streams/flows/ingest", "text/plain",
+		strings.NewReader("1\n2\n3\n2\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(collectorURL + "/v1/streams/flows/estimate")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var got struct {
+				Estimates struct {
+					Values map[string]float64 `json:"values"`
+				} `json:"estimates"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if got.Estimates.Values["f0_sampled"] == 3 && got.Estimates.Values["window_f0_sampled"] == 3 {
+				break
+			}
+		} else if resp != nil {
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("collector never served the windowed estimate")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if err := stopAgent(); err != nil {
+		t.Fatalf("agent shutdown: %v", err)
+	}
+	if err := stopCollector(); err != nil {
+		t.Fatalf("collector shutdown: %v", err)
+	}
+}
+
+// TestApplyWindowDefaults pins the flag/config precedence: explicit
+// per-stream values always beat the fleet flags, and -epoch also serves
+// streams that declared their own window without an epoch.
+func TestApplyWindowDefaults(t *testing.T) {
+	streams := map[string]server.StreamConfig{
+		"bare":         {Stat: "f0", P: 0.5},
+		"own-window":   {Stat: "f0", P: 0.5, Window: 6},
+		"own-epoch":    {Stat: "f0", P: 0.5, Window: 6, Epoch: server.Duration(10 * time.Second)},
+		"full-explict": {Stat: "f0", P: 0.5, Window: 2, Epoch: server.Duration(time.Hour)},
+	}
+	applyWindowDefaults(streams, 4, 30*time.Second)
+	want := map[string]struct {
+		window int
+		epoch  server.Duration
+	}{
+		"bare":         {4, server.Duration(30 * time.Second)},
+		"own-window":   {6, server.Duration(30 * time.Second)},
+		"own-epoch":    {6, server.Duration(10 * time.Second)},
+		"full-explict": {2, server.Duration(time.Hour)},
+	}
+	for name, w := range want {
+		got := streams[name]
+		if got.Window != w.window || got.Epoch != w.epoch {
+			t.Errorf("%s: window=%d epoch=%v, want window=%d epoch=%v",
+				name, got.Window, got.Epoch, w.window, w.epoch)
+		}
+	}
+	// No flags: nothing changes, not even for windowed streams.
+	streams2 := map[string]server.StreamConfig{"own-window": {Stat: "f0", P: 0.5, Window: 6}}
+	applyWindowDefaults(streams2, 0, 0)
+	if got := streams2["own-window"]; got.Window != 6 || got.Epoch != 0 {
+		t.Errorf("flagless defaults mutated the config: %+v", got)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out syncBuffer
 	ctx, cancel := context.WithCancel(context.Background())
@@ -171,9 +262,16 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "f0", "all", "countsketch", "iw"} {
+	for _, want := range []string{"fk", "0x20", "f0", "all", "countsketch", "iw", "window", "0x30"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
+		}
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "topk") || strings.HasPrefix(line, "window") {
+			if !strings.Contains(line, "decode-only") {
+				t.Fatalf("decode-only kind unmarked: %q", line)
+			}
 		}
 	}
 }

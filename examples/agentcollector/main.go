@@ -53,7 +53,7 @@ func binBody(items stream.Slice) *bytes.Reader {
 
 func main() {
 	// The central site: one collector daemon.
-	collector := server.NewCollector()
+	collector := server.NewCollector(server.CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	defer cts.Close()
 

@@ -1,12 +1,20 @@
 package estimator
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
 )
+
+// ErrDecodeOnly marks construction attempts against kinds that register
+// no constructor: they have a wire form (that is what earns a tag) but
+// exist only as components of composite payloads, revived through
+// Decode. Callers distinguish "that kind cannot be built" from "no such
+// kind" with errors.Is.
+var ErrDecodeOnly = errors.New("kind is decode-only")
 
 // Spec is the estimator-affecting configuration a registered kind builds
 // fresh instances from. It is the registry-level rendering of the
@@ -149,7 +157,9 @@ func New(spec Spec) (Estimator, error) {
 			spec.Stat, strings.Join(Stats(), " | "))
 	}
 	if k.New == nil {
-		return nil, fmt.Errorf("estimator: kind %q is decode-only", spec.Stat)
+		return nil, fmt.Errorf(
+			"estimator: %w: %q only rides inside other payloads and cannot back a stream (constructible kinds: %s)",
+			ErrDecodeOnly, spec.Stat, strings.Join(Stats(), " | "))
 	}
 	return k.New(spec.withDefaults())
 }
@@ -172,11 +182,17 @@ func Decode(data []byte) (Estimator, error) {
 }
 
 // WriteKinds renders the registry as the table the CLIs print for
-// -list-estimators: one row per kind with its wire tag and description.
+// -list-estimators: one row per kind with its wire tag, whether it can
+// back a stream ("stat") or only ride inside payloads ("decode-only"),
+// and its description.
 func WriteKinds(w io.Writer) {
-	fmt.Fprintf(w, "%-14s %-5s %s\n", "NAME", "TAG", "DESCRIPTION")
+	fmt.Fprintf(w, "%-14s %-5s %-12s %s\n", "NAME", "TAG", "MODE", "DESCRIPTION")
 	for _, k := range Kinds() {
-		fmt.Fprintf(w, "%-14s 0x%02x  %s\n", k.Name, k.Tag, k.Doc)
+		mode := "stat"
+		if k.New == nil {
+			mode = "decode-only"
+		}
+		fmt.Fprintf(w, "%-14s 0x%02x  %-12s %s\n", k.Name, k.Tag, mode, k.Doc)
 	}
 }
 

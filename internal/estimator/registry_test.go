@@ -1,6 +1,7 @@
 package estimator_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -152,7 +153,7 @@ func TestRegistryInvariants(t *testing.T) {
 		}
 	}
 	for _, k := range kinds {
-		if k.Tag >= 0x30 {
+		if k.Tag >= 0x40 {
 			continue // test-only kinds live outside the owned ranges
 		}
 		if k.Tag == 0 {
@@ -258,5 +259,41 @@ func TestDecodeRejectsUnknownAndEmpty(t *testing.T) {
 	if _, err := estimator.New(estimator.Spec{Stat: "nope"}); err == nil ||
 		!strings.Contains(err.Error(), "unknown stat") {
 		t.Fatalf("unknown stat error = %v", err)
+	}
+}
+
+// TestNewDecodeOnlyKind pins the distinct decode-only error: building a
+// spec for a kind that only rides inside other payloads (TopK) must
+// fail with ErrDecodeOnly, while unknown kinds must not.
+func TestNewDecodeOnlyKind(t *testing.T) {
+	_, err := estimator.New(demoSpec("topk"))
+	if err == nil {
+		t.Fatal("decode-only kind constructed")
+	}
+	if !errors.Is(err, estimator.ErrDecodeOnly) {
+		t.Fatalf("topk construction error = %v, want errors.Is(_, ErrDecodeOnly)", err)
+	}
+	if !strings.Contains(err.Error(), "topk") {
+		t.Fatalf("decode-only error does not name the kind: %v", err)
+	}
+	_, err = estimator.New(estimator.Spec{Stat: "nope"})
+	if errors.Is(err, estimator.ErrDecodeOnly) {
+		t.Fatalf("unknown kind mislabeled decode-only: %v", err)
+	}
+
+	// The table the CLIs print marks the same distinction.
+	var out strings.Builder
+	estimator.WriteKinds(&out)
+	for _, line := range strings.Split(out.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "topk"):
+			if !strings.Contains(line, "decode-only") {
+				t.Errorf("topk row unmarked: %q", line)
+			}
+		case strings.HasPrefix(line, "f0"):
+			if !strings.Contains(line, "stat") {
+				t.Errorf("f0 row unmarked: %q", line)
+			}
+		}
 	}
 }

@@ -49,4 +49,16 @@
 // from one goroutine. Shard workers never share state; all
 // synchronization is channel hand-off, so the package is race-clean under
 // `go test -race`.
+//
+// # Windowed replicas
+//
+// Epoch-ring replicas (internal/window) ride the pipeline unchanged:
+// build every shard replica around ONE shared window.Clock and they
+// rotate in lockstep, with MergeAll's fold realigning whatever epoch
+// skew remains. One caveat follows from the asynchronous workers: a
+// batch dispatched just before an epoch boundary may be applied just
+// after it. Wall-clock deployments absorb that as ordinary boundary
+// skew (bounded by queue latency); deterministic replays that drive a
+// ManualClock must quiesce with Sync before advancing the clock, so
+// every in-flight batch lands in the epoch that fed it.
 package pipeline

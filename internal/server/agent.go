@@ -24,6 +24,10 @@ type AgentConfig struct {
 	// FlushInterval is the period of Run's background shipping.
 	// Default 10s.
 	FlushInterval time.Duration
+	// ShutdownFlushTimeout bounds the final flush Run performs on
+	// graceful shutdown: a slow or hung collector cannot delay process
+	// exit past it. Default 5s.
+	ShutdownFlushTimeout time.Duration
 	// Client performs upstream requests. Default: 10s-timeout client.
 	Client *http.Client
 	// Logf receives operational log lines. Nil discards them.
@@ -62,8 +66,18 @@ func NewAgent(cfg AgentConfig) *Agent {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 10 * time.Second
 	}
+	if cfg.ShutdownFlushTimeout <= 0 {
+		cfg.ShutdownFlushTimeout = 5 * time.Second
+	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+		// The default client's timeout must not silently cap an
+		// explicitly longer shutdown-flush bound; callers supplying
+		// their own Client own that reconciliation.
+		timeout := 10 * time.Second
+		if cfg.ShutdownFlushTimeout > timeout {
+			timeout = cfg.ShutdownFlushTimeout
+		}
+		cfg.Client = &http.Client{Timeout: timeout}
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -291,7 +305,7 @@ func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 	// equals snapshot order; sends may still arrive out of order, which
 	// the collector's (Boot, Seq) check absorbs.
 	st.shipMu.Lock()
-	payload, fed, kept, err := st.run.snapshot()
+	payload, epoch, fed, kept, err := st.run.snapshot()
 	if err != nil {
 		st.shipMu.Unlock()
 		a.metrics.ShipErrors.Add(1)
@@ -306,6 +320,7 @@ func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 		Config:  st.cfg,
 		Fed:     fed,
 		Kept:    kept,
+		Epoch:   epoch,
 		Payload: payload,
 	}
 	st.shipMu.Unlock()
@@ -355,7 +370,7 @@ func (a *Agent) Run(ctx context.Context) error {
 			var err error
 			if a.cfg.Upstream != "" {
 				// Final flush with a fresh deadline: ctx is already dead.
-				flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				flushCtx, cancel := context.WithTimeout(context.Background(), a.cfg.ShutdownFlushTimeout)
 				_, err = a.FlushAll(flushCtx)
 				cancel()
 			}

@@ -6,15 +6,30 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"substream/internal/estimator"
 )
+
+// CollectorConfig configures a collector daemon.
+type CollectorConfig struct {
+	// MaxSummaryAge excludes agents whose newest accepted summary is
+	// older than this from Estimate: an agent that shipped once and died
+	// stops haunting the global estimate once its state expires, and the
+	// response reports how many were skipped. 0 retains every agent
+	// forever (the pre-staleness behavior).
+	MaxSummaryAge time.Duration
+	// Now is the staleness time source. Nil means time.Now; tests
+	// substitute a fake to drive expiry deterministically.
+	Now func() time.Time
+}
 
 // Collector is the monitoring daemon's aggregation role: it retains the
 // latest shipped summary per (stream, agent) and folds them on demand
 // into the global estimate — the central site of the paper's
 // sampled-NetFlow scenario.
 type Collector struct {
+	cfg     CollectorConfig
 	metrics *Metrics
 
 	mu      sync.RWMutex
@@ -30,15 +45,20 @@ type collectorStream struct {
 
 // agentState is one agent's newest shipped summary, decoded once on
 // arrival. The stored Summary's Payload is blanked — the decoded
-// estimator is the retained representation.
+// estimator is the retained representation. lastSeen timestamps the
+// acceptance, the staleness clock MaxSummaryAge runs against.
 type agentState struct {
-	sum     Summary
-	decoded estimator.Estimator
+	sum      Summary
+	decoded  estimator.Estimator
+	lastSeen time.Time
 }
 
 // NewCollector builds a collector.
-func NewCollector() *Collector {
-	return &Collector{metrics: newMetrics(), streams: make(map[string]*collectorStream)}
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Collector{cfg: cfg, metrics: newMetrics(), streams: make(map[string]*collectorStream)}
 }
 
 // Metrics exposes the collector's instrument panel.
@@ -53,6 +73,12 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/streams/{name}", c.handleDelete)
 	addOps(mux, "collector", c.metrics)
 	return mux
+}
+
+// stale reports whether an agent's retained state has outlived
+// MaxSummaryAge as of now.
+func (c *Collector) stale(st agentState, now time.Time) bool {
+	return c.cfg.MaxSummaryAge > 0 && now.Sub(st.lastSeen) > c.cfg.MaxSummaryAge
 }
 
 // Accept folds one shipped summary into the retained state: first sight
@@ -72,9 +98,9 @@ func (c *Collector) Accept(sum Summary) error {
 	// Decode through the registry's single entry point, then trial-fold
 	// eagerly: a corrupt payload, one of the wrong kind for the declared
 	// stat, or one whose estimator disagrees with the declared config
-	// (wrong p, foreign hash seeds) is rejected at the door rather than
-	// poisoning every later estimate query. The decoded estimator — not
-	// the bytes — is what the collector retains.
+	// (wrong p, foreign hash seeds, mismatched window shape) is rejected
+	// at the door rather than poisoning every later estimate query. The
+	// decoded estimator — not the bytes — is what the collector retains.
 	fold := buildFolder(cfg)
 	decoded, err := estimator.Decode(sum.Payload)
 	if err != nil {
@@ -106,7 +132,7 @@ func (c *Collector) Accept(sum Summary) error {
 			return nil // stale duplicate; newest state retained
 		}
 	}
-	st.agents[sum.Agent] = agentState{sum: sum, decoded: decoded}
+	st.agents[sum.Agent] = agentState{sum: sum, decoded: decoded, lastSeen: c.cfg.Now()}
 	return nil
 }
 
@@ -116,12 +142,17 @@ func (c *Collector) Accept(sum Summary) error {
 type GlobalEstimate struct {
 	Estimates Estimates
 	Agents    int
-	Fed       uint64
-	Kept      uint64
+	// Skipped counts retained agents excluded from this fold because
+	// their newest summary outlived MaxSummaryAge.
+	Skipped int
+	Fed     uint64
+	Kept    uint64
 }
 
-// Estimate folds the latest summary of every agent of the stream into
-// the global estimate.
+// Estimate folds the latest summary of every fresh agent of the stream
+// into the global estimate. Agents whose retained state has outlived
+// MaxSummaryAge are skipped (and counted), so a long-dead agent cannot
+// silently pin the estimate to its final snapshot.
 func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
 	c.mu.RLock()
 	st, ok := c.streams[name]
@@ -129,13 +160,19 @@ func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
 		c.mu.RUnlock()
 		return GlobalEstimate{}, fmt.Errorf("unknown stream %q", name)
 	}
+	now := c.cfg.Now()
 	// Fold in sorted agent order so repeated queries are deterministic.
 	agents := make([]string, 0, len(st.agents))
-	for id := range st.agents {
+	var out GlobalEstimate
+	for id, state := range st.agents {
+		if c.stale(state, now) {
+			out.Skipped++
+			continue
+		}
 		agents = append(agents, id)
 	}
 	sort.Strings(agents)
-	out := GlobalEstimate{Agents: len(agents)}
+	out.Agents = len(agents)
 	states := make([]estimator.Estimator, len(agents))
 	for i, id := range agents {
 		state := st.agents[id]
@@ -146,6 +183,10 @@ func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
 	fold := st.fold
 	c.mu.RUnlock()
 
+	if len(states) == 0 && out.Skipped > 0 {
+		return out, fmt.Errorf("stream %q: all %d retained summaries are older than the max age",
+			name, out.Skipped)
+	}
 	est, err := fold.foldDecoded(states)
 	out.Estimates = est
 	return out, err
@@ -170,6 +211,17 @@ func (c *Collector) handleCollect(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// agentInfo is one agent's row in the collector's list response.
+type agentInfo struct {
+	Agent    string    `json:"agent"`
+	Seq      uint64    `json:"seq"`
+	Epoch    uint64    `json:"epoch,omitempty"`
+	Fed      uint64    `json:"fed"`
+	Kept     uint64    `json:"kept"`
+	LastSeen time.Time `json:"last_seen"`
+	Stale    bool      `json:"stale,omitempty"`
+}
+
 // collectorInfo is one row of the collector's list response.
 type collectorInfo struct {
 	Name   string       `json:"name"`
@@ -177,17 +229,29 @@ type collectorInfo struct {
 	Agents int          `json:"agents"`
 	Fed    uint64       `json:"fed"`
 	Kept   uint64       `json:"kept"`
+	Detail []agentInfo  `json:"agent_detail"`
 }
 
 func (c *Collector) handleList(w http.ResponseWriter, _ *http.Request) {
 	c.mu.RLock()
+	now := c.cfg.Now()
 	var out []collectorInfo
 	for name, st := range c.streams {
 		info := collectorInfo{Name: name, Config: st.cfg, Agents: len(st.agents)}
-		for _, state := range st.agents {
+		for id, state := range st.agents {
 			info.Fed += state.sum.Fed
 			info.Kept += state.sum.Kept
+			info.Detail = append(info.Detail, agentInfo{
+				Agent:    id,
+				Seq:      state.sum.Seq,
+				Epoch:    state.sum.Epoch,
+				Fed:      state.sum.Fed,
+				Kept:     state.sum.Kept,
+				LastSeen: state.lastSeen,
+				Stale:    c.stale(state, now),
+			})
 		}
+		sort.Slice(info.Detail, func(i, j int) bool { return info.Detail[i].Agent < info.Detail[j].Agent })
 		out = append(out, info)
 	}
 	c.mu.RUnlock()
@@ -219,14 +283,20 @@ func (c *Collector) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	global, err := c.Estimate(name)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if global.Agents == 0 {
+		switch {
+		case global.Skipped > 0 && global.Agents == 0:
+			// Known stream, fleet-wide silence: distinct from an
+			// unregistered stream so monitors can alert instead of
+			// treating it as "not rolled out yet".
+			status = http.StatusServiceUnavailable
+		case global.Agents == 0:
 			status = http.StatusNotFound
 		}
 		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"stream": name, "agents": global.Agents, "fed": global.Fed,
-		"kept": global.Kept, "estimates": global.Estimates,
+		"stream": name, "agents": global.Agents, "skipped_stale": global.Skipped,
+		"fed": global.Fed, "kept": global.Kept, "estimates": global.Estimates,
 	})
 }

@@ -1,14 +1,52 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"substream/internal/estimator"
 	"substream/internal/pipeline"
 	"substream/internal/stream"
+	"substream/internal/window"
 )
+
+// Duration is a time.Duration that JSON-encodes as a human-readable
+// string ("90s", "5m") and accepts either a string or integer
+// nanoseconds on input — the friendly form for -streams files.
+type Duration time.Duration
+
+// String renders the duration in time.Duration's notation.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON encodes the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "90s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*d = Duration(n)
+	return nil
+}
 
 // StreamConfig declares one named stream: which statistic to estimate,
 // the sampling regime, and the pipeline shape. All agents feeding the
@@ -48,6 +86,17 @@ type StreamConfig struct {
 	// SHOULD differ across agents (each monitor flips its own coins);
 	// 0 lets the agent pick one.
 	SampleSeed uint64 `json:"sample_seed,omitempty"`
+	// Window, when > 0, wraps every replica in an epoch ring of Window
+	// generations (internal/window): estimates then carry both the
+	// cumulative values and "window_"-prefixed values covering the last
+	// Window epochs. Like the estimator fields, it must match across
+	// agents of one logical stream.
+	Window int `json:"window,omitempty"`
+	// Epoch is the epoch duration of windowed streams. Epoch boundaries
+	// derive from Unix time, so agents with synchronized clocks and an
+	// identical Epoch agree on them without coordination. Default 1m
+	// when Window > 0.
+	Epoch Duration `json:"epoch,omitempty"`
 }
 
 // withDefaults fills unset fields.
@@ -66,6 +115,9 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Window > 0 && c.Epoch == 0 {
+		c.Epoch = Duration(time.Minute)
 	}
 	return c
 }
@@ -97,6 +149,15 @@ func (c StreamConfig) validate() error {
 	if c.Shards < 0 || c.Batch < 0 {
 		return fmt.Errorf("shards and batch must be >= 0")
 	}
+	if c.Window < 0 || c.Window > window.MaxWindow {
+		return fmt.Errorf("window must be in [0, %d], got %d", window.MaxWindow, c.Window)
+	}
+	if c.Window > 0 && c.Epoch <= 0 {
+		return fmt.Errorf("windowed streams need a positive epoch, got %v", c.Epoch)
+	}
+	if c.Window == 0 && c.Epoch != 0 {
+		return fmt.Errorf("epoch %v set without a window", c.Epoch)
+	}
 	return nil
 }
 
@@ -110,9 +171,40 @@ func (c StreamConfig) spec() estimator.Spec {
 }
 
 // sharedEquals reports whether two configs agree on every field that
-// must match across agents for their summaries to merge.
+// must match across agents for their summaries to merge. Window and
+// Epoch are shared fields: rings of different spans or epoch lengths
+// refuse to merge, exactly like estimators from different seeds.
 func (c StreamConfig) sharedEquals(o StreamConfig) bool {
-	return c.spec() == o.spec()
+	return c.spec() == o.spec() && c.Window == o.Window && c.Epoch == o.Epoch
+}
+
+// newEpochClock builds the epoch clock of one windowed stream. A
+// package-level hook so server tests can substitute a manual clock and
+// drive epoch boundaries deterministically.
+var newEpochClock = func(epochLen time.Duration) window.Clock {
+	return window.NewWallClock(epochLen)
+}
+
+// newEstimator returns the constructor every replica of this stream is
+// built from: the registered kind, wrapped in an epoch ring sharing
+// clock when Window > 0. All replicas of one stream must be built from
+// ONE returned constructor, so they share the clock and rotate in
+// lockstep.
+func (c StreamConfig) newEstimator() func() (estimator.Estimator, error) {
+	spec := c.spec()
+	inner := func() (estimator.Estimator, error) { return estimator.New(spec) }
+	if c.Window <= 0 {
+		return inner
+	}
+	clock := newEpochClock(time.Duration(c.Epoch))
+	return func() (estimator.Estimator, error) {
+		return window.Wrap(window.Config{
+			Window:   c.Window,
+			EpochLen: time.Duration(c.Epoch),
+			Clock:    clock,
+			New:      inner,
+		})
+	}
 }
 
 // Estimates is the statistic report of one stream, local or global: the
@@ -128,37 +220,43 @@ type Estimates = estimator.Report
 // process's state replaces the dead one's instead of being mistaken for
 // stale replays.
 type Summary struct {
-	Agent   string       `json:"agent"`
-	Stream  string       `json:"stream"`
-	Boot    uint64       `json:"boot,omitempty"`
-	Seq     uint64       `json:"seq"`
-	Config  StreamConfig `json:"config"`
-	Fed     uint64       `json:"fed"`
-	Kept    uint64       `json:"kept"`
-	Payload []byte       `json:"payload"`
+	Agent  string       `json:"agent"`
+	Stream string       `json:"stream"`
+	Boot   uint64       `json:"boot,omitempty"`
+	Seq    uint64       `json:"seq"`
+	Config StreamConfig `json:"config"`
+	Fed    uint64       `json:"fed"`
+	Kept   uint64       `json:"kept"`
+	// Epoch is the epoch index the stream's ring was serialized at (0
+	// for unwindowed streams) — the operator's handle for telling how
+	// far behind an agent's window is without decoding the payload.
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Payload []byte `json:"payload"`
 }
 
 // streamRunner is one agent-side stream: a running pipeline plus the
 // codec hooks the shipping path needs. Implementations are safe for
 // concurrent use. snapshot returns the serialized cumulative state
-// together with the fed/kept counts captured atomically with it, so a
-// shipped Summary's totals always describe exactly its Payload.
+// together with the epoch index (0 for unwindowed streams) and the
+// fed/kept counts captured atomically with it, so a shipped Summary's
+// totals always describe exactly its Payload.
 type streamRunner interface {
 	ingest(items stream.Slice)
 	estimates() (Estimates, error)
-	snapshot() (payload []byte, fed, kept uint64, err error)
+	snapshot() (payload []byte, epoch uint64, fed, kept uint64, err error)
 	counts() (fed, kept uint64)
 	close()
 }
 
 // runner implements streamRunner over the estimator registry: every
-// shard replica is an estimator.Estimator built from the stream's spec.
-// The mutex serializes the single-producer pipeline feed with the
-// Sync-based snapshot path, and guards the closed flag so an ingest
-// racing a DELETE (or shutdown) is dropped instead of panicking the
-// pipeline.
+// shard replica is an estimator.Estimator built from the stream's
+// constructor (the registered kind, epoch-ring-wrapped for windowed
+// streams — all replicas share one epoch clock). The mutex serializes
+// the single-producer pipeline feed with the Sync-based snapshot path,
+// and guards the closed flag so an ingest racing a DELETE (or shutdown)
+// is dropped instead of panicking the pipeline.
 type runner struct {
-	spec   estimator.Spec
+	newEst func() (estimator.Estimator, error)
 	mu     sync.Mutex
 	pl     *pipeline.Pipeline[estimator.Estimator]
 	closed bool
@@ -166,24 +264,24 @@ type runner struct {
 
 // buildRunner constructs the agent-side stream for a validated config.
 func buildRunner(cfg StreamConfig) (streamRunner, error) {
-	spec := cfg.spec()
+	newEst := cfg.newEstimator()
 	// Probe-construct once so a bad spec surfaces as an error here, not
 	// a panic inside a pipeline worker.
-	if _, err := estimator.New(spec); err != nil {
+	if _, err := newEst(); err != nil {
 		return nil, err
 	}
 	sampleP := cfg.P
 	if cfg.Presampled {
 		sampleP = 0
 	}
-	r := &runner{spec: spec}
+	r := &runner{newEst: newEst}
 	r.pl = pipeline.New(pipeline.Config{
 		Shards:    cfg.Shards,
 		BatchSize: cfg.Batch,
 		SampleP:   sampleP,
 		Seed:      cfg.SampleSeed,
 	}, func(int) estimator.Estimator {
-		e, err := estimator.New(spec)
+		e, err := newEst()
 		if err != nil {
 			panic(err) // unreachable: the probe construction above succeeded
 		}
@@ -206,7 +304,7 @@ func (r *runner) ingest(items stream.Slice) {
 // continue. Callers must hold r.mu.
 func (r *runner) merged() (estimator.Estimator, error) {
 	r.pl.Sync()
-	acc, err := estimator.New(r.spec)
+	acc, err := r.newEst()
 	if err != nil {
 		return nil, err
 	}
@@ -228,18 +326,21 @@ func (r *runner) estimates() (Estimates, error) {
 	return estimator.ReportOf(acc), nil
 }
 
-func (r *runner) snapshot() ([]byte, uint64, uint64, error) {
+func (r *runner) snapshot() ([]byte, uint64, uint64, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	acc, err := r.merged()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
 	payload, err := acc.MarshalBinary()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, 0, err
 	}
-	return payload, r.pl.Fed(), r.pl.Kept(), nil
+	// For windowed streams the summary advertises the epoch its ring was
+	// serialized at; the collector surfaces it per agent.
+	epoch, _ := window.EpochOf(acc)
+	return payload, epoch, r.pl.Fed(), r.pl.Kept(), nil
 }
 
 func (r *runner) counts() (uint64, uint64) {
@@ -258,10 +359,14 @@ func (r *runner) close() {
 // folder is the collector-side half of a stream: payloads decode once on
 // arrival through the registry's Decode entry point, and estimate
 // queries fold the retained decoded states into a fresh accumulator
-// built from the stream's spec — never mutating them, so one decode
-// serves every subsequent query.
+// built from the stream's constructor — never mutating them, so one
+// decode serves every subsequent query. For windowed streams the fresh
+// accumulator sits at the wall clock's CURRENT epoch, so merging the
+// retained per-agent rings aligns them to now: generations that have
+// since expired drop out of the global window estimate even though the
+// agents shipped them while still fresh.
 type folder struct {
-	spec estimator.Spec
+	newAcc func() (estimator.Estimator, error)
 }
 
 // buildFolder constructs the collector-side fold for a validated config.
@@ -269,7 +374,7 @@ type folder struct {
 // accumulator lazily per query, and foldDecoded surfaces a bad spec as
 // an error, so Accept never pays a throwaway estimator per summary.
 func buildFolder(cfg StreamConfig) folder {
-	return folder{spec: cfg.spec()}
+	return folder{newAcc: cfg.newEstimator()}
 }
 
 func (f folder) foldDecoded(states []estimator.Estimator) (Estimates, error) {
@@ -280,7 +385,7 @@ func (f folder) foldDecoded(states []estimator.Estimator) (Estimates, error) {
 	// so the retained per-agent states stay pristine across queries. A
 	// payload whose kind disagrees with the declared stat fails the
 	// type check inside Merge.
-	acc, err := estimator.New(f.spec)
+	acc, err := f.newAcc()
 	if err != nil {
 		return Estimates{}, err
 	}

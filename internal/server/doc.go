@@ -39,9 +39,12 @@
 //   - Tag ranges are partitioned by package: internal/sketch owns
 //     0x01–0x0f (countmin 0x01, countsketch 0x02, kmv 0x03, hll 0x04,
 //     spacesaving 0x05, misragries 0x06, topk 0x07), internal/levelset
-//     owns 0x10–0x1f (exactcounter 0x10, levelset 0x11, iw 0x12), and
+//     owns 0x10–0x1f (exactcounter 0x10, levelset 0x11, iw 0x12),
 //     internal/core owns 0x20–0x2f (fk 0x20, f0 0x21, entropy 0x22,
-//     hh1 0x23, hh2 0x24, all 0x25, gee 0x26).
+//     hh1 0x23, hh2 0x24, all 0x25, gee 0x26), and internal/window owns
+//     0x30–0x3f (window 0x30, the epoch-ring wrapper whose payload
+//     nests one pristine, one cumulative, and W generation payloads
+//     from the concrete ranges below it).
 //   - Decoders reject unknown tags, unknown versions, truncated input,
 //     trailing bytes, and any length field larger than the remaining
 //     buffer could hold — corrupt input must fail cleanly, never panic
@@ -60,6 +63,11 @@
 // their estimators from identical configuration, including the Seed
 // field of StreamConfig — the daemon-level rendering of the library rule
 // that replicas must be constructed from generators at identical state.
+// Windowed streams (StreamConfig.Window > 0) additionally share Window
+// and Epoch: epoch boundaries derive from Unix time, so identically
+// configured agents on synchronized clocks rotate together, Summary
+// carries the ring's epoch index, and the collector's fold realigns
+// whatever flush-schedule skew remains (see internal/window).
 package server
 
 // The daemon speaks whatever the estimator registry holds; linking

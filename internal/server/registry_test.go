@@ -23,6 +23,8 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 		// internal/core: 0x20–0x2f
 		{0x20, "fk"}, {0x21, "f0"}, {0x22, "entropy"}, {0x23, "hh1"},
 		{0x24, "hh2"}, {0x25, "all"}, {0x26, "gee"},
+		// internal/window: 0x30–0x3f
+		{0x30, "window"},
 	}
 	kinds := estimator.Kinds()
 	if len(kinds) != len(want) {
@@ -42,8 +44,10 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 			lo, hi = 0x01, 0x0f
 		case k.Tag <= 0x1f:
 			lo, hi = 0x10, 0x1f
-		default:
+		case k.Tag <= 0x2f:
 			lo, hi = 0x20, 0x2f
+		default:
+			lo, hi = 0x30, 0x3f
 		}
 		if k.Tag < lo || k.Tag > hi {
 			t.Errorf("kind %q tag %#x escapes its package range [%#x, %#x]", k.Name, k.Tag, lo, hi)

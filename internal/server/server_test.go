@@ -74,7 +74,7 @@ func sampledZipf(n int, p float64, seed uint64) stream.Slice {
 // list of test servers.
 func agentFleet(t *testing.T, cfg StreamConfig, name string, chunks []stream.Slice) string {
 	t.Helper()
-	collector := NewCollector()
+	collector := NewCollector(CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	t.Cleanup(cts.Close)
 
@@ -290,7 +290,7 @@ func TestAgentSamplesInProcess(t *testing.T) {
 // collector never double-counts: the estimate after three flushes equals
 // the estimate after one.
 func TestShippingIsIdempotent(t *testing.T) {
-	collector := NewCollector()
+	collector := NewCollector(CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	defer cts.Close()
 
@@ -326,7 +326,7 @@ func TestShippingIsIdempotent(t *testing.T) {
 // must REPLACE the old incarnation's at the collector instead of being
 // discarded as a stale replay.
 func TestAgentRestartReplacesState(t *testing.T) {
-	collector := NewCollector()
+	collector := NewCollector(CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	defer cts.Close()
 
@@ -404,7 +404,7 @@ func TestIngestRacingDelete(t *testing.T) {
 
 // TestCollectorRejections covers the collector's input validation.
 func TestCollectorRejections(t *testing.T) {
-	collector := NewCollector()
+	collector := NewCollector(CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	defer cts.Close()
 
@@ -561,7 +561,7 @@ func TestAgentAPIValidation(t *testing.T) {
 // the test the race detector patrols (Sync-based snapshots must never
 // tear).
 func TestConcurrentIngestEstimateFlush(t *testing.T) {
-	collector := NewCollector()
+	collector := NewCollector(CollectorConfig{})
 	cts := httptest.NewServer(collector.Handler())
 	defer cts.Close()
 	agent := NewAgent(AgentConfig{ID: "busy", Upstream: cts.URL})

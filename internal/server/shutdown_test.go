@@ -1,0 +1,66 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestShutdownFlushTimeoutBoundsSlowCollector proves a hung collector
+// cannot stall an agent's graceful shutdown past the configured bound:
+// the final flush is abandoned (with an error) once
+// ShutdownFlushTimeout elapses.
+func TestShutdownFlushTimeoutBoundsSlowCollector(t *testing.T) {
+	// A collector that never answers: it parks every /v1/collect until
+	// the client gives up (or the test ends — Close waits for handlers,
+	// so release before it runs).
+	release := make(chan struct{})
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer stuck.Close()
+	defer close(release)
+
+	agent := NewAgent(AgentConfig{
+		ID:                   "doomed",
+		Upstream:             stuck.URL,
+		FlushInterval:        time.Hour, // only the shutdown flush fires
+		ShutdownFlushTimeout: 100 * time.Millisecond,
+	})
+	if err := agent.CreateStream("s", StreamConfig{Stat: "f0", P: 0.5, Seed: 1, Presampled: true, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- agent.Run(ctx) }()
+	cancel()
+
+	start := time.Now()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("final flush against a hung collector reported success")
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("shutdown took %v despite a 100ms flush bound", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on the stuck collector")
+	}
+}
+
+// TestShutdownFlushTimeoutDefault pins the default so the config change
+// stays behavior-compatible.
+func TestShutdownFlushTimeoutDefault(t *testing.T) {
+	a := NewAgent(AgentConfig{ID: "d"})
+	defer a.Close()
+	if a.cfg.ShutdownFlushTimeout != 5*time.Second {
+		t.Fatalf("default ShutdownFlushTimeout = %v, want 5s", a.cfg.ShutdownFlushTimeout)
+	}
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"substream/internal/core"
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// fakeNow is a settable time source for staleness tests.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// shipF0 builds a self-consistent f0 summary for the staleness tests.
+func shipF0(agent string, seq uint64, items []stream.Item) Summary {
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 1, Presampled: true}
+	e := core.NewF0Estimator(core.F0Config{P: 0.5}, rng.New(1))
+	for _, it := range items {
+		e.Observe(it)
+	}
+	payload, _ := e.MarshalBinary()
+	return Summary{
+		Agent: agent, Stream: "s", Seq: seq, Config: cfg,
+		Fed: uint64(len(items)), Kept: uint64(len(items)), Payload: payload,
+	}
+}
+
+// TestCollectorSkipsStaleAgents proves a dead agent's retained summary
+// ages out of the global estimate — and that MaxSummaryAge 0 keeps the
+// old fold-forever behavior.
+func TestCollectorSkipsStaleAgents(t *testing.T) {
+	clock := &fakeNow{t: time.Unix(1_000_000, 0)}
+	c := NewCollector(CollectorConfig{MaxSummaryAge: time.Minute, Now: clock.now})
+
+	if err := c.Accept(shipF0("dead", 1, []stream.Item{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(45 * time.Second)
+	if err := c.Accept(shipF0("alive", 1, []stream.Item{4, 5})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both fresh: both fold.
+	got, err := c.Estimate("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Agents != 2 || got.Skipped != 0 {
+		t.Fatalf("fresh fold: agents=%d skipped=%d", got.Agents, got.Skipped)
+	}
+	if got.Estimates.Values["f0_sampled"] != 5 {
+		t.Fatalf("fresh f0_sampled = %v, want 5", got.Estimates.Values["f0_sampled"])
+	}
+
+	// 30s later "dead" is 75s old (expired), "alive" 30s (fresh).
+	clock.advance(30 * time.Second)
+	got, err = c.Estimate("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Agents != 1 || got.Skipped != 1 {
+		t.Fatalf("aged fold: agents=%d skipped=%d", got.Agents, got.Skipped)
+	}
+	if got.Estimates.Values["f0_sampled"] != 2 {
+		t.Fatalf("aged f0_sampled = %v, want 2 (alive agent only)", got.Estimates.Values["f0_sampled"])
+	}
+	if got.Fed != 2 {
+		t.Fatalf("aged fed = %d, want the alive agent's 2", got.Fed)
+	}
+
+	// A re-shipment refreshes lastSeen and revives the agent.
+	if err := c.Accept(shipF0("dead", 2, []stream.Item{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Estimate("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Agents != 2 || got.Skipped != 0 {
+		t.Fatalf("revived fold: agents=%d skipped=%d", got.Agents, got.Skipped)
+	}
+
+	// Everyone expired: the estimate fails rather than answering from
+	// the void, naming how many were skipped.
+	clock.advance(time.Hour)
+	if _, err := c.Estimate("s"); err == nil || !strings.Contains(err.Error(), "older than the max age") {
+		t.Fatalf("all-stale estimate: %v", err)
+	}
+
+	// MaxSummaryAge 0 never expires anything.
+	forever := NewCollector(CollectorConfig{Now: clock.now})
+	if err := forever.Accept(shipF0("dead", 1, []stream.Item{9})); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(1000 * time.Hour)
+	got, err = forever.Estimate("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Agents != 1 || got.Skipped != 0 {
+		t.Fatalf("age-disabled fold: agents=%d skipped=%d", got.Agents, got.Skipped)
+	}
+}
+
+// TestListExposesLastSeen checks /v1/streams carries per-agent
+// last_seen and the stale flag, and the estimate response the skipped
+// count.
+func TestListExposesLastSeen(t *testing.T) {
+	clock := &fakeNow{t: time.Unix(2_000_000, 0)}
+	c := NewCollector(CollectorConfig{MaxSummaryAge: time.Minute, Now: clock.now})
+	cts := httptest.NewServer(c.Handler())
+	defer cts.Close()
+
+	accepted := clock.now()
+	if err := c.Accept(shipF0("a1", 1, []stream.Item{1})); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(2 * time.Minute)
+	if err := c.Accept(shipF0("a2", 1, []stream.Item{2})); err != nil {
+		t.Fatal(err)
+	}
+
+	var list struct {
+		Streams []struct {
+			Agents int `json:"agents"`
+			Detail []struct {
+				Agent    string    `json:"agent"`
+				LastSeen time.Time `json:"last_seen"`
+				Stale    bool      `json:"stale"`
+			} `json:"agent_detail"`
+		} `json:"streams"`
+	}
+	do(t, http.MethodGet, cts.URL+"/v1/streams", "", nil, &list)
+	if len(list.Streams) != 1 || list.Streams[0].Agents != 2 {
+		t.Fatalf("list: %+v", list)
+	}
+	byAgent := map[string]struct {
+		last  time.Time
+		stale bool
+	}{}
+	for _, d := range list.Streams[0].Detail {
+		byAgent[d.Agent] = struct {
+			last  time.Time
+			stale bool
+		}{d.LastSeen, d.Stale}
+	}
+	if !byAgent["a1"].stale || byAgent["a2"].stale {
+		t.Fatalf("stale flags: %+v", byAgent)
+	}
+	if !byAgent["a1"].last.Equal(accepted) {
+		t.Fatalf("a1 last_seen = %v, want %v", byAgent["a1"].last, accepted)
+	}
+
+	var est struct {
+		Agents  int `json:"agents"`
+		Skipped int `json:"skipped_stale"`
+	}
+	do(t, http.MethodGet, cts.URL+"/v1/streams/s/estimate", "", nil, &est)
+	if est.Agents != 1 || est.Skipped != 1 {
+		t.Fatalf("estimate response: %+v", est)
+	}
+
+	// Fleet-wide silence answers 503, distinct from an unknown stream's
+	// 404 — a monitor must be able to tell "everyone stopped shipping"
+	// from "never registered".
+	clock.advance(time.Hour)
+	if resp := do(t, http.MethodGet, cts.URL+"/v1/streams/s/estimate", "", nil, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-stale estimate: status %d, want 503", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodGet, cts.URL+"/v1/streams/nope/estimate", "", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream estimate: status %d, want 404", resp.StatusCode)
+	}
+}

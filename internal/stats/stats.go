@@ -9,13 +9,22 @@ import (
 	"sort"
 )
 
-// Summary aggregates repeated scalar measurements.
+// Summary aggregates repeated scalar measurements. It is not safe for
+// concurrent use: Quantile lazily builds the sorted cache, so even
+// read-style queries mutate the receiver.
 type Summary struct {
 	values []float64
+	// sorted caches the ascending copy Quantile works over, built on
+	// first use and invalidated by Add. Rendering a p50/p90/p99 table
+	// therefore sorts once, not once per quantile.
+	sorted []float64
 }
 
 // Add appends one measurement.
-func (s *Summary) Add(v float64) { s.values = append(s.values, v) }
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = nil
+}
 
 // N returns the number of measurements.
 func (s *Summary) N() int { return len(s.values) }
@@ -63,17 +72,19 @@ func (s *Summary) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, n)
-	copy(sorted, s.values)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = make([]float64, n)
+		copy(s.sorted, s.values)
+		sort.Float64s(s.sorted)
+	}
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return s.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
 }
 
 // Median returns the 0.5-quantile.

@@ -47,6 +47,64 @@ func TestSummarySingle(t *testing.T) {
 	}
 }
 
+// TestQuantileCacheInvalidation is the regression test for the sorted
+// cache: quantiles after an interleaved Add must reflect the new value,
+// exactly as if every call re-sorted from scratch, and the insertion
+// order of the raw values must survive caching.
+func TestQuantileCacheInvalidation(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{30, 10, 20} {
+		s.Add(v)
+	}
+	if got := s.Quantile(0.5); got != 20 {
+		t.Fatalf("median of {30,10,20} = %v, want 20", got)
+	}
+	// Repeated queries hit the cache and must agree.
+	if got := s.Quantile(0.5); got != 20 {
+		t.Fatalf("cached median = %v, want 20", got)
+	}
+	if got := s.Quantile(1); got != 30 {
+		t.Fatalf("cached max quantile = %v, want 30", got)
+	}
+
+	// Add must invalidate: a new maximum shifts every upper quantile.
+	s.Add(40)
+	if got := s.Quantile(1); got != 40 {
+		t.Fatalf("q=1 after Add = %v, want 40 (stale cache?)", got)
+	}
+	if got := s.Quantile(0.5); got != 25 {
+		t.Fatalf("median after Add = %v, want 25", got)
+	}
+	// And the raw sample must keep its insertion order: sorting works on
+	// the cached copy, never the values themselves.
+	if s.values[0] != 30 || s.values[3] != 40 {
+		t.Fatalf("Add/Quantile reordered the raw sample: %v", s.values)
+	}
+
+	// Mixed Add/quantile churn matches a cache-free reference.
+	var cached, reference Summary
+	ref := func(q float64) float64 {
+		// Reference path: force a fresh sort by rebuilding the summary.
+		var fresh Summary
+		for _, v := range reference.values {
+			fresh.Add(v)
+		}
+		return fresh.Quantile(q)
+	}
+	for i := 0; i < 200; i++ {
+		v := float64((i * 7919) % 101)
+		cached.Add(v)
+		reference.Add(v)
+		if i%3 == 0 {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if got, want := cached.Quantile(q), ref(q); got != want {
+					t.Fatalf("step %d q=%v: cached %v, reference %v", i, q, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestQuantileInterpolation(t *testing.T) {
 	var s Summary
 	for _, v := range []float64{10, 20, 30, 40} {

@@ -1,0 +1,156 @@
+package window
+
+import (
+	"fmt"
+
+	"substream/internal/estimator"
+	"substream/internal/sketch"
+)
+
+// TagWindow is the wire tag of the windowed wrapper. The window package
+// owns the range 0x30–0x3f (see internal/server/doc.go).
+const TagWindow byte = 0x30
+
+// innerTagMax bounds the tags a window payload may nest: only the
+// concrete estimator ranges (sketch 0x01–0x0f, levelset 0x10–0x1f, core
+// 0x20–0x2f). The gate runs BEFORE decoding, so a crafted payload cannot
+// nest another window (or any future composite at 0x30+) and recurse the
+// decoder — the same discipline as levelset's collision-counter gate.
+const innerTagMax byte = TagWindow - 1
+
+// decodeInner revives one nested replica through the registry's single
+// entry point, after gating its tag to the concrete estimator ranges.
+func decodeInner(data []byte) (estimator.Estimator, error) {
+	tag, err := sketch.PayloadTag(data)
+	if err != nil {
+		return nil, err
+	}
+	if tag > innerTagMax {
+		return nil, fmt.Errorf("window: payload tag %#x cannot ride inside a window", tag)
+	}
+	return estimator.Decode(data)
+}
+
+// MarshalBinary serializes the full ring state: epoch metadata, the
+// pristine replica resets decode from, the cumulative replica, and every
+// generation in slot order. The ring is rotated to the clock's epoch
+// first, so the payload never ships expired generations.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	e.rotate()
+	w := &sketch.Writer{}
+	w.Header(TagWindow)
+	w.I64(e.epochLen)
+	w.U32(uint32(e.window))
+	w.U64(e.epoch)
+	w.Nested(e.pristine)
+	cum, err := e.cum.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	w.Nested(cum)
+	for _, g := range e.gens {
+		payload, err := g.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.Nested(payload)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal reconstructs a windowed estimator from MarshalBinary output.
+// The revived estimator carries a clock frozen at its snapshot epoch: it
+// answers as of that moment and never rotates on its own, which is
+// exactly what a collector retaining per-agent states needs — alignment
+// to "now" happens when it merges into a live accumulator.
+func Unmarshal(data []byte) (*Estimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagWindow)
+	epochLen := r.I64()
+	window := int(r.U32())
+	epoch := r.U64()
+	if r.Err() == nil && (epochLen <= 0 || window < 1 || window > MaxWindow) {
+		r.Fail()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	e := &Estimator{
+		window:   window,
+		epochLen: epochLen,
+		clock:    frozenClock(epoch),
+		epoch:    epoch,
+		gens:     make([]estimator.Estimator, window),
+	}
+	// Copy the pristine payload out of the shared input buffer: it
+	// outlives the decode (every later reset reads it).
+	e.pristine = append([]byte(nil), r.Nested()...)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	var err error
+	if _, err = decodeInner(e.pristine); err != nil {
+		return nil, fmt.Errorf("window: pristine replica: %w", err)
+	}
+	if e.cum, err = decodeInner(r.Nested()); err != nil {
+		return nil, fmt.Errorf("window: cumulative replica: %w", err)
+	}
+	for i := range e.gens {
+		if e.gens[i], err = decodeInner(r.Nested()); err != nil {
+			return nil, fmt.Errorf("window: generation %d: %w", i, err)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	// A crafted payload can nest replicas of mixed kinds (or foreign
+	// seeds) that would only surface as a merge failure on the first
+	// query — corrupt input must fail here instead. Trial-merging every
+	// replica into a pristine copy proves the ring self-consistent once,
+	// which is also what makes the merge errors inside Estimates
+	// unreachable for decoded rings.
+	acc, err := e.windowMerged()
+	if err != nil {
+		return nil, fmt.Errorf("window: generations do not merge: %w", err)
+	}
+	if err := acc.Merge(e.cum); err != nil {
+		return nil, fmt.Errorf("window: cumulative replica does not merge: %w", err)
+	}
+	return e, nil
+}
+
+func init() {
+	// Decode-only: a Spec names one statistic, not a wrapper plus an
+	// inner statistic, so windowed estimators are constructed with New
+	// (the daemon drives it from StreamConfig.Window) and only revived
+	// through the registry.
+	estimator.Register(estimator.Kind{
+		Tag: TagWindow, Name: "window",
+		Doc:    "epoch-ring window wrapper around any estimator (built via New, not a Spec)",
+		Decode: estimator.DecodeTyped(Unmarshal),
+	})
+}
+
+// Wrap builds a windowed estimator already lifted to the registry
+// interface — the one-liner ingestion layers use.
+func Wrap(cfg Config) (estimator.Estimator, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return estimator.Adapt(e), nil
+}
+
+// EpochOf returns the ring position of a (possibly adapted) windowed
+// estimator WITHOUT advancing it, and false for any other estimator —
+// the hook the agent uses to stamp Summary.Epoch. Read after
+// MarshalBinary it names exactly the serialized epoch, even if the wall
+// clock has since ticked (stamping clock-now instead would advertise an
+// epoch the payload does not carry).
+func EpochOf(e estimator.Estimator) (uint64, bool) {
+	w, ok := estimator.Unwrap(e).(*Estimator)
+	if !ok {
+		return 0, false
+	}
+	return w.epoch, true
+}

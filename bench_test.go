@@ -220,6 +220,43 @@ func BenchmarkPipelineBatchVsObserve(b *testing.B) {
 	})
 }
 
+// --- ingest hot path (per-kind ns/item across batch sizes) ---
+
+// BenchmarkHotPath prices one estimator update at the three batch shapes
+// that matter: single items (the Observe-equivalent worst case), the
+// chunk size a forwarding monitor might use, and the pipeline's default
+// batch. It runs over every constructible registry kind so a new
+// estimator joins the throughput trajectory automatically, and reports
+// ns/item so numbers are comparable across batch sizes.
+func BenchmarkHotPath(b *testing.B) {
+	wl := workload.Zipf(1<<16, 65536, 1.1, 5)
+	items := stream.Collect(wl.Stream)
+	for _, stat := range estimator.Stats() {
+		for _, size := range []int{1, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/batch%d", stat, size), func(b *testing.B) {
+				e, err := estimator.New(estimator.Spec{
+					Stat: stat, P: 0.2, K: 2, Epsilon: 0.2, Alpha: 0.05, Budget: 4096, Seed: 11,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(8 * size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				off := 0
+				for i := 0; i < b.N; i++ {
+					if off+size > len(items) {
+						off = 0
+					}
+					e.UpdateBatch(items[off : off+size])
+					off += size
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(size)), "ns/item")
+			})
+		}
+	}
+}
+
 // --- wire format (internal/estimator registry) ---
 
 // wireEstimator builds one estimator of the named kind through the

@@ -1,0 +1,207 @@
+// Command benchcompare renders the throughput delta between two
+// BENCH_<sha>.json artifacts (the test2json benchmark trajectory CI
+// uploads per commit) as a Markdown table, benchstat-style: one row per
+// benchmark present in both files, with ns/op and MB/s deltas.
+//
+// It is the comparison half of CI's warn-only bench-compare step: the
+// workflow downloads the base commit's artifact, runs
+//
+//	benchcompare BENCH_base.json BENCH_head.json >> "$GITHUB_STEP_SUMMARY"
+//
+// and never fails the job on a regression — machine noise across
+// shared runners makes a red gate flaky; the table makes the trajectory
+// visible instead. Exit status is non-zero only for unreadable input.
+//
+// The -threshold flag (percent, default 5) hides rows whose ns/op moved
+// less than the threshold, keeping the summary focused on real shifts;
+// pass -threshold 0 to list everything.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's parsed metrics.
+type benchResult struct {
+	NsPerOp float64
+	MBPerS  float64
+	HasMBs  bool
+}
+
+// testEvent is the subset of a test2json event the parser needs.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "hide rows whose ns/op changed by less than this percentage (0 = show all)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-threshold pct] BASE.json HEAD.json")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	head, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	if err := render(os.Stdout, base, head, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// parse extracts benchmark results from a test2json stream. go test
+// emits a sub-benchmark's result as a name-only line followed by a
+// metrics-only output event whose Test field carries the benchmark
+// name:
+//
+//	{"Action":"output","Test":"BenchmarkHotPath/countmin/batch1024",
+//	 "Output":"   27602\t     21325 ns/op\t 384.16 MB/s\t ...\n"}
+//
+// while top-level benchmarks (and raw, non-JSON `go test` output, which
+// is accepted too so local runs compare without CI) put name and
+// metrics on one `Benchmark... ns/op` line. Both shapes are parsed.
+func parse(r io.Reader) (map[string]benchResult, error) {
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		test := ""
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue // tolerate foreign lines; the artifact is best-effort
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+			test = ev.Test
+		}
+		if name, res, ok := parseBenchLine(line); ok {
+			out[name] = res
+			continue
+		}
+		if test != "" && strings.HasPrefix(test, "Benchmark") {
+			if res, ok := parseMetrics(strings.Fields(line)); ok {
+				out[test] = res
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses a single-line `Benchmark... ns/op` result.
+func parseBenchLine(line string) (string, benchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", benchResult{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", benchResult{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so runs from machines with different
+	// core counts still line up.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res, ok := parseMetrics(fields[1:])
+	return name, res, ok
+}
+
+// parseMetrics scans "value unit" field pairs for the metrics the table
+// reports; ns/op is mandatory for a line to count as a result.
+func parseMetrics(fields []string) (benchResult, bool) {
+	var res benchResult
+	found := false
+	for i := 0; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			found = true
+		case "MB/s":
+			res.MBPerS = v
+			res.HasMBs = true
+		}
+	}
+	return res, found
+}
+
+// render writes the Markdown comparison table.
+func render(w io.Writer, base, head map[string]benchResult, threshold float64) error {
+	names := make([]string, 0, len(head))
+	for name := range head {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "### Benchmark comparison (warn-only)\n\n")
+	if len(names) == 0 {
+		fmt.Fprintf(w, "No benchmarks common to both artifacts.\n")
+		return nil
+	}
+	shown, regressions := 0, 0
+	var rows strings.Builder
+	for _, name := range names {
+		b, h := base[name], head[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := (h.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		if delta > threshold {
+			regressions++
+		}
+		if threshold > 0 && delta > -threshold && delta < threshold {
+			continue
+		}
+		shown++
+		mbs := ""
+		if b.HasMBs && h.HasMBs {
+			mbs = fmt.Sprintf("%.1f → %.1f", b.MBPerS, h.MBPerS)
+		}
+		fmt.Fprintf(&rows, "| %s | %.4g | %.4g | %+.1f%% | %s |\n",
+			strings.TrimPrefix(name, "Benchmark"), b.NsPerOp, h.NsPerOp, delta, mbs)
+	}
+	fmt.Fprintf(w, "%d benchmarks compared, %d moved ≥ %g%% (slower-than-threshold: %d; noise on shared runners — informational only).\n\n",
+		len(names), shown, threshold, regressions)
+	if shown > 0 {
+		fmt.Fprintf(w, "| benchmark | base ns/op | head ns/op | Δ ns/op | MB/s |\n")
+		fmt.Fprintf(w, "|---|---|---|---|---|\n")
+		fmt.Fprint(w, rows.String())
+	}
+	return nil
+}

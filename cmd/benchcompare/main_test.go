@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseJSON = `{"Action":"start","Package":"substream"}
+{"Action":"output","Package":"substream","Output":"BenchmarkHotPath/countmin/batch1024-4 \t 5059 \t 45069 ns/op\t 181.76 MB/s\t 44.01 ns/item\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"substream","Output":"BenchmarkServerIngest/binary-4 \t 24532 \t 96507 ns/op\t 339.54 MB/s\t 138895 B/op\t 100 allocs/op\n"}
+{"Action":"output","Package":"substream","Output":"BenchmarkOnlyInBase-4 \t 10 \t 100 ns/op\n"}
+{"Action":"output","Package":"substream","Output":"not a benchmark line\n"}
+`
+
+const headJSON = `{"Action":"output","Package":"substream","Output":"BenchmarkHotPath/countmin/batch1024-8 \t 114550 \t 21383 ns/op\t 383.12 MB/s\t 20.88 ns/item\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Package":"substream","Output":"BenchmarkServerIngest/binary-8 \t 40101 \t 58832 ns/op\t 556.98 MB/s\t 40281 B/op\t 97 allocs/op\n"}
+{"Action":"output","Package":"substream","Output":"BenchmarkOnlyInHead-8 \t 10 \t 100 ns/op\n"}
+`
+
+func TestParseTest2JSON(t *testing.T) {
+	base, err := parse(strings.NewReader(baseJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := base["BenchmarkHotPath/countmin/batch1024"]
+	if !ok {
+		t.Fatalf("countmin benchmark not parsed (GOMAXPROCS suffix kept?): %v", base)
+	}
+	if res.NsPerOp != 45069 || !res.HasMBs || res.MBPerS != 181.76 {
+		t.Fatalf("parsed metrics wrong: %+v", res)
+	}
+	if len(base) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(base))
+	}
+}
+
+// TestParseSplitSubBenchmark covers go test's real sub-benchmark shape:
+// a metrics-only output event whose Test field names the benchmark.
+func TestParseSplitSubBenchmark(t *testing.T) {
+	split := `{"Action":"run","Test":"BenchmarkHotPath/kmv/batch64"}
+{"Action":"output","Test":"BenchmarkHotPath/kmv/batch64","Output":"BenchmarkHotPath/kmv/batch64\n"}
+{"Action":"output","Test":"BenchmarkHotPath/kmv/batch64","Output":"  404896\t      1310 ns/op\t 390.81 MB/s\t        20.47 ns/item\t       0 B/op\t       0 allocs/op\n"}
+`
+	got, err := parse(strings.NewReader(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := got["BenchmarkHotPath/kmv/batch64"]
+	if !ok {
+		t.Fatalf("split sub-benchmark not parsed: %v", got)
+	}
+	if res.NsPerOp != 1310 || res.MBPerS != 390.81 {
+		t.Fatalf("split metrics wrong: %+v", res)
+	}
+}
+
+func TestParsePlainBenchOutput(t *testing.T) {
+	raw := "goos: linux\nBenchmarkX-2 \t 100 \t 250.5 ns/op\t 12.3 MB/s\nPASS\n"
+	got, err := parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := got["BenchmarkX"]; !ok || res.NsPerOp != 250.5 {
+		t.Fatalf("plain output not parsed: %v", got)
+	}
+}
+
+func TestRenderComparison(t *testing.T) {
+	base, _ := parse(strings.NewReader(baseJSON))
+	head, _ := parse(strings.NewReader(headJSON))
+	var sb strings.Builder
+	if err := render(&sb, base, head, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"2 benchmarks compared",
+		"HotPath/countmin/batch1024",
+		"ServerIngest/binary",
+		"-52.6%", // countmin 45069 -> 21383
+		"181.8 → 383.1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OnlyInBase") || strings.Contains(out, "OnlyInHead") {
+		t.Fatalf("benchmarks missing from one side must not be compared:\n%s", out)
+	}
+}
+
+func TestRenderThresholdHidesNoise(t *testing.T) {
+	base, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 100 ns/op` + "\n"))
+	head, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 101 ns/op` + "\n"))
+	var sb strings.Builder
+	if err := render(&sb, base, head, 5); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "| Same |") {
+		t.Fatalf("1%% move should be hidden at 5%% threshold:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := render(&sb, base, head, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| Same |") {
+		t.Fatalf("threshold 0 must show every row:\n%s", sb.String())
+	}
+}

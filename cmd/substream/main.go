@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -46,20 +48,22 @@ import (
 
 // options carries every CLI flag; tests drive run with a literal.
 type options struct {
-	stat   string
-	p      float64
-	input  string
-	k      int
-	alpha  float64
-	eps    float64
-	seed   uint64
-	exact  bool
-	budget int
-	shards int
-	batch  int
-	window int
-	epoch  int
-	list   bool
+	stat       string
+	p          float64
+	input      string
+	k          int
+	alpha      float64
+	eps        float64
+	seed       uint64
+	exact      bool
+	budget     int
+	shards     int
+	batch      int
+	window     int
+	epoch      int
+	list       bool
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -78,6 +82,8 @@ func main() {
 	flag.IntVar(&opt.window, "window", 0, "window span in epochs (0 = cumulative only)")
 	flag.IntVar(&opt.epoch, "epoch", 10000, "items per epoch for -window")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list registered estimator kinds and exit")
+	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 
 	if err := run(os.Stdout, opt); err != nil {
@@ -90,6 +96,34 @@ func run(w io.Writer, opt options) error {
 	if opt.list {
 		estimator.WriteKinds(w)
 		return nil
+	}
+	// Profiling hooks so perf work can attach pprof evidence without
+	// patching the binary: the CPU profile covers the whole ingest run,
+	// the heap profile snapshots live memory after it.
+	if opt.cpuprofile != "" {
+		f, err := os.Create(opt.cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if opt.memprofile != "" {
+		defer func() {
+			f, err := os.Create(opt.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "substream: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "substream: memprofile:", err)
+			}
+		}()
 	}
 	var in io.Reader = os.Stdin
 	if opt.input != "" {

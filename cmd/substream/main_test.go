@@ -177,6 +177,32 @@ func TestRunEmptyStream(t *testing.T) {
 	}
 }
 
+// TestRunWritesProfiles checks the pprof hooks: a run with -cpuprofile
+// and -memprofile must leave non-empty, parseable profile files behind.
+func TestRunWritesProfiles(t *testing.T) {
+	path := writeStreamFile(t, workload.Zipf(20_000, 1024, 1.2, 5))
+	dir := t.TempDir()
+	opt := baseOpts("f0", path)
+	opt.cpuprofile = filepath.Join(dir, "cpu.pprof")
+	opt.memprofile = filepath.Join(dir, "mem.pprof")
+	var out bytes.Buffer
+	if err := run(&out, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{opt.cpuprofile, opt.memprofile} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	if !strings.Contains(out.String(), "F0 estimate") {
+		t.Fatalf("profiled run lost its output: %q", out.String())
+	}
+}
+
 func TestListEstimators(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(&out, options{list: true}); err != nil {

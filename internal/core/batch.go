@@ -9,9 +9,10 @@ import (
 // item of a batch with one call, removing the per-item interface dispatch
 // that dominates channel-fed deployments and letting the backends run
 // their cache-friendly batch loops (see internal/sketch/batch.go). Every
-// UpdateBatch is behaviorally equivalent to calling Observe per item;
-// randomized backends may consume their generator in a different order,
-// so results are statistically — not bit-for-bit — identical.
+// UpdateBatch produces state bit-identical to calling Observe per item —
+// the invariant internal/estimator's registry-driven equivalence test
+// pins for every serializable kind, so the batched pipeline, the
+// sequential CLI, and a replayed stream all converge on one state.
 
 // UpdateBatch feeds a batch of sampled-stream elements.
 func (e *FkEstimator) UpdateBatch(items []stream.Item) {
@@ -56,34 +57,33 @@ func (e *EntropyEstimator) UpdateBatch(items []stream.Item) {
 	e.sk.UpdateBatch(items)
 }
 
-// UpdateBatch feeds a batch of sampled-stream elements: the sketch
-// absorbs the whole batch first, then the candidate tracker is re-scored
-// once per item with the post-batch estimates. Estimates only grow under
-// inserts, so candidates admitted this way are at least as accurate as
-// under per-item observation, and Report re-queries the sketch anyway.
+// UpdateBatch feeds a batch of sampled-stream elements. The candidate
+// tracker's scores depend on the sketch state at each item's own
+// observation, so sketch update and tracker re-score stay interleaved
+// per item — batching's win here comes from the divide-free point-query
+// kernels, not from reordering — and the batched state is bit-identical
+// to per-item observation.
 func (h *F1HeavyHitters) UpdateBatch(items []stream.Item) {
 	h.observed += uint64(len(items))
 	if h.cm != nil {
-		h.cm.UpdateBatch(items)
 		for _, it := range items {
+			h.cm.Observe(it)
 			h.tracker.Update(it, float64(h.cm.Estimate(it)))
 		}
 		return
 	}
-	h.mg.UpdateBatch(items)
 	for _, it := range items {
-		if est := h.mg.Estimate(it); est > 0 {
-			h.tracker.Update(it, float64(est))
-		}
+		h.mg.Observe(it)
+		h.tracker.Update(it, float64(h.mg.Estimate(it)))
 	}
 }
 
-// UpdateBatch feeds a batch of sampled-stream elements, like
-// F1HeavyHitters.UpdateBatch.
+// UpdateBatch feeds a batch of sampled-stream elements, interleaved per
+// item like F1HeavyHitters.UpdateBatch.
 func (h *F2HeavyHitters) UpdateBatch(items []stream.Item) {
 	h.nL += uint64(len(items))
-	h.cs.UpdateBatch(items)
 	for _, it := range items {
+		h.cs.Observe(it)
 		if est := h.cs.Estimate(it); est > 0 {
 			h.tracker.Update(it, float64(est))
 		}

@@ -27,7 +27,7 @@ import (
 type IWEstimator struct {
 	epsPrime float64
 	eta      float64
-	universe *rng.PolyHash // decides each item's deepest level
+	universe rng.Hash2 // decides each item's deepest level
 	levels   []iwLevel
 	nL       uint64
 }
@@ -83,7 +83,7 @@ func NewIW(cfg IWConfig, r *rng.Xoshiro256) *IWEstimator {
 		eta:      r.Float64Open(),
 		levels:   make([]iwLevel, nLevels),
 	}
-	e.universe = rng.NewPolyHash(2, r)
+	e.universe = rng.NewHash2(r)
 	for t := range e.levels {
 		e.levels[t] = iwLevel{
 			hashLevel: t,

@@ -62,7 +62,7 @@ type Estimator struct {
 // repState is one independent repetition of the universe-sampling
 // structure.
 type repState struct {
-	hash   *rng.PolyHash
+	hash   rng.Hash2
 	counts map[stream.Item]trackedItem
 	T      int // current threshold level
 	budget int
@@ -111,7 +111,7 @@ func New(cfg Config, r *rng.Xoshiro256) *Estimator {
 	}
 	for i := range e.reps {
 		e.reps[i] = &repState{
-			hash:   rng.NewPolyHash(2, r),
+			hash:   rng.NewHash2(r),
 			counts: make(map[stream.Item]trackedItem),
 			budget: cfg.Budget,
 		}

@@ -96,7 +96,7 @@ func (e *Estimator) MarshalBinary() ([]byte, error) {
 	w.Nested(heavy)
 	w.U32(uint32(len(e.reps)))
 	for _, rs := range e.reps {
-		w.Hash(rs.hash)
+		w.Hash2(rs.hash)
 		w.U32(uint32(rs.T))
 		w.U32(uint32(len(rs.counts)))
 		for _, it := range sketch.SortedKeys(rs.counts) {
@@ -139,7 +139,7 @@ func UnmarshalEstimator(data []byte) (*Estimator, error) {
 	e := &Estimator{epsPrime: epsPrime, eta: eta, budget: budget,
 		heavy: heavy, reps: make([]*repState, nReps)}
 	for i := range e.reps {
-		hash := r.Hash()
+		hash := r.Hash2()
 		T := r.Count(maxLevel, 0)
 		count := r.Count(sketch.MaxWireElems, 17)
 		if err := r.Err(); err != nil {
@@ -181,7 +181,7 @@ func (e *IWEstimator) MarshalBinary() ([]byte, error) {
 	w.F64(e.epsPrime)
 	w.F64(e.eta)
 	w.U64(e.nL)
-	w.Hash(e.universe)
+	w.Hash2(e.universe)
 	w.U32(uint32(len(e.levels)))
 	for t := range e.levels {
 		lvl := &e.levels[t]
@@ -211,7 +211,7 @@ func UnmarshalIWEstimator(data []byte) (*IWEstimator, error) {
 	if r.Err() == nil && !(epsPrime > 0 && !math.IsInf(epsPrime, 0) && eta > 0 && eta <= 1) {
 		r.Fail()
 	}
-	universe := r.Hash()
+	universe := r.Hash2()
 	nLevels := r.Count(maxWireReps, 16)
 	if r.Err() == nil && nLevels < 1 {
 		r.Fail()

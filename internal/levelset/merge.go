@@ -199,11 +199,26 @@ func (e *IWEstimator) MergeCounter(other CollisionCounter) error {
 	return e.Merge(o)
 }
 
-// UpdateBatch feeds every item in items.
+// UpdateBatch feeds every item in items with the per-item Observe body
+// inlined and the level array hoisted. The candidate re-score depends on
+// each level's sketch state at the item's own observation, so the
+// level/item loops cannot be reordered (bit-equivalence with Observe);
+// the batch win here comes from the flat universe/bucket/sign kernels
+// inside levelOf and the per-level CountSketch.
 func (e *IWEstimator) UpdateBatch(items []stream.Item) {
+	levels := e.levels
 	for _, it := range items {
-		e.Observe(it)
+		deepest := e.levelOf(it)
+		for t := 0; t <= deepest; t++ {
+			lvl := &levels[t]
+			lvl.count++
+			lvl.cs.Observe(it)
+			if est := lvl.cs.Estimate(it); est > 0 {
+				lvl.cands.Update(it, float64(est))
+			}
+		}
 	}
+	e.nL += uint64(len(items))
 }
 
 var (

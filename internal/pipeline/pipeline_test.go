@@ -17,6 +17,7 @@ func (c *countReplica) Observe(stream.Item) { c.n++ }
 // batch sizes it saw.
 type batchReplica struct {
 	n       uint64
+	sum     uint64
 	batches int
 	maxLen  int
 }
@@ -26,6 +27,9 @@ func (b *batchReplica) UpdateBatch(items []stream.Item) {
 	b.batches++
 	if len(items) > b.maxLen {
 		b.maxLen = len(items)
+	}
+	for _, it := range items {
+		b.sum += uint64(it)
 	}
 }
 
@@ -68,6 +72,70 @@ func TestFeedSliceZeroCopyAndMixedFeeding(t *testing.T) {
 	}
 	if total != n {
 		t.Fatalf("delivered %d items, want %d", total, n)
+	}
+}
+
+// TestFeedCopyDeliversAndReleasesCallerBuffer drives the copying bulk
+// path: every item must arrive exactly once in BatchSize-bounded
+// batches, and — the contract the daemon's pooled decode relies on —
+// the caller's buffer must be safely reusable immediately after
+// FeedCopy returns. Reusing (scribbling over) the chunk buffer between
+// calls would corrupt delivered items if the pipeline retained it.
+func TestFeedCopyDeliversAndReleasesCallerBuffer(t *testing.T) {
+	const chunks, chunkLen = 300, 97 // chunk size deliberately off the batch size
+	p := New(Config{Shards: 3, BatchSize: 128}, func(int) *batchReplica { return &batchReplica{} })
+	sum := uint64(0)
+	buf := make(stream.Slice, chunkLen)
+	for c := 0; c < chunks; c++ {
+		for i := range buf {
+			v := uint64(c*chunkLen+i) + 1
+			buf[i] = stream.Item(v)
+			sum += v
+		}
+		p.FeedCopy(buf)
+		// Scribble over the buffer immediately: the pipeline must have
+		// copied, so delivered values stay intact.
+		for i := range buf {
+			buf[i] = ^stream.Item(0)
+		}
+	}
+	shards := p.Close()
+	var total, delivered uint64
+	for _, s := range shards {
+		total += s.n
+		if s.maxLen > 128 {
+			t.Fatalf("worker saw batch of %d > BatchSize 128", s.maxLen)
+		}
+		delivered += s.sum
+	}
+	if total != chunks*chunkLen {
+		t.Fatalf("delivered %d items, want %d", total, chunks*chunkLen)
+	}
+	if delivered != sum {
+		t.Fatalf("delivered item sum %d, want %d — pipeline retained a caller buffer", delivered, sum)
+	}
+	if p.Fed() != chunks*chunkLen {
+		t.Fatalf("Fed() = %d, want %d", p.Fed(), chunks*chunkLen)
+	}
+}
+
+// TestFeedCopyMixesWithFeedAndFeedSlice checks the copying path composes
+// with the other producers without losing or duplicating the buffered
+// partial batch.
+func TestFeedCopyMixesWithFeedAndFeedSlice(t *testing.T) {
+	items := zipfSlice(5_000, 9)
+	p := New(Config{Shards: 2, BatchSize: 64}, func(int) *batchReplica { return &batchReplica{} })
+	p.Feed(items[0])
+	p.FeedCopy(items[1:1500])
+	p.FeedSlice(items[1500:4000])
+	p.FeedCopy(items[4000:])
+	shards := p.Close()
+	var total uint64
+	for _, s := range shards {
+		total += s.n
+	}
+	if total != uint64(len(items)) {
+		t.Fatalf("delivered %d items, want %d", total, len(items))
 	}
 }
 

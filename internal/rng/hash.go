@@ -1,5 +1,7 @@
 package rng
 
+import "math/bits"
+
 // This file implements the hash families the sketches rely on.
 //
 // CountMin needs pairwise-independent row hashes; CountSketch needs
@@ -118,6 +120,150 @@ func (h *PolyHash) Sign(x uint64) int {
 // used to drive geometric universe sampling: Pr[Unit(x) ≤ q] ≈ q.
 func (h *PolyHash) Unit(x uint64) float64 {
 	return (float64(h.Hash(x)) + 1) / float64(mersenne61)
+}
+
+// Mod61 reduces an arbitrary 64-bit value into the field [0, 2^61−1)
+// without a hardware divide, using the Mersenne fold x ≡ (x>>61) + (x &
+// 2^61−1): the fold lands in [0, 2^61+6], so one conditional subtraction
+// yields exactly x % (2^61−1).
+func Mod61(x uint64) uint64 {
+	s := (x >> 61) + (x & mersenne61)
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
+// Hash2 is the specialized degree-1 polynomial kernel h(x) = A·x + B over
+// GF(2^61−1): the pairwise-independent hash every bucket-choice and
+// universe-sampling site uses, stored as two plain words so sketches can
+// keep rows in contiguous arrays instead of chasing *PolyHash pointers.
+// It is bit-identical to NewPolyHash(2, r).Hash for the same coefficient
+// draws.
+type Hash2 struct {
+	A, B uint64 // h(x) = A·x + B; B is coefficient 0, A coefficient 1
+}
+
+// NewHash2 draws a pairwise-independent kernel from r, consuming exactly
+// the draws NewPolyHash(2, r) would (constant coefficient first), so
+// seeded construction sequences stay reproducible across the two
+// representations.
+func NewHash2(r *Xoshiro256) Hash2 {
+	b := r.Uint64n(mersenne61)
+	a := r.Uint64n(mersenne61)
+	return Hash2{A: a, B: b}
+}
+
+// Hash2FromCoefficients rebuilds a kernel from serialized polynomial
+// coefficients, low degree first. It panics on a wrong count or a
+// coefficient outside the field — decoders validate before calling.
+func Hash2FromCoefficients(coef []uint64) Hash2 {
+	if len(coef) != 2 {
+		panic("rng: Hash2 requires exactly 2 coefficients")
+	}
+	if coef[0] >= mersenne61 || coef[1] >= mersenne61 {
+		panic("rng: coefficient outside GF(2^61-1)")
+	}
+	return Hash2{A: coef[1], B: coef[0]}
+}
+
+// Coefficients returns the polynomial coefficients low degree first, the
+// serialized form shared with PolyHash.
+func (h Hash2) Coefficients() []uint64 { return []uint64{h.B, h.A} }
+
+// Hash evaluates the kernel at x, reducing x into the field first.
+func (h Hash2) Hash(x uint64) uint64 { return h.Eval(Mod61(x)) }
+
+// Eval evaluates the kernel at an already-reduced x < 2^61−1 — the form
+// batch loops use after hoisting the per-item reduction out of the
+// per-row work.
+func (h Hash2) Eval(x uint64) uint64 {
+	return addmod61(mulmod61(h.A, x), h.B)
+}
+
+// Unit maps x to a value in (0, 1], pairwise independently, like
+// PolyHash.Unit.
+func (h Hash2) Unit(x uint64) float64 {
+	return (float64(h.Hash(x)) + 1) / float64(mersenne61)
+}
+
+// Hash4 is the specialized degree-3 polynomial kernel — the 4-wise
+// independent sign hash of CountSketch and AMS — with the Horner loop
+// fully unrolled over four plain words. Bit-identical to
+// NewPolyHash(4, r).Hash for the same draws.
+type Hash4 struct {
+	C0, C1, C2, C3 uint64 // h(x) = C3·x³ + C2·x² + C1·x + C0
+}
+
+// NewHash4 draws a 4-wise-independent kernel from r, consuming exactly
+// the draws NewPolyHash(4, r) would.
+func NewHash4(r *Xoshiro256) Hash4 {
+	var h Hash4
+	h.C0 = r.Uint64n(mersenne61)
+	h.C1 = r.Uint64n(mersenne61)
+	h.C2 = r.Uint64n(mersenne61)
+	h.C3 = r.Uint64n(mersenne61)
+	return h
+}
+
+// Hash4FromCoefficients rebuilds a kernel from serialized polynomial
+// coefficients, low degree first. It panics on a wrong count or a
+// coefficient outside the field.
+func Hash4FromCoefficients(coef []uint64) Hash4 {
+	if len(coef) != 4 {
+		panic("rng: Hash4 requires exactly 4 coefficients")
+	}
+	for _, c := range coef {
+		if c >= mersenne61 {
+			panic("rng: coefficient outside GF(2^61-1)")
+		}
+	}
+	return Hash4{C0: coef[0], C1: coef[1], C2: coef[2], C3: coef[3]}
+}
+
+// Coefficients returns the polynomial coefficients low degree first.
+func (h Hash4) Coefficients() []uint64 { return []uint64{h.C0, h.C1, h.C2, h.C3} }
+
+// Hash evaluates the kernel at x, reducing x into the field first.
+func (h Hash4) Hash(x uint64) uint64 { return h.Eval(Mod61(x)) }
+
+// Eval evaluates the kernel at an already-reduced x < 2^61−1.
+func (h Hash4) Eval(x uint64) uint64 {
+	acc := addmod61(mulmod61(h.C3, x), h.C2)
+	acc = addmod61(mulmod61(acc, x), h.C1)
+	return addmod61(mulmod61(acc, x), h.C0)
+}
+
+// Sign maps x to ±1 from the hash's low bit, like PolyHash.Sign.
+func (h Hash4) Sign(x uint64) int {
+	return int(h.Hash(x)&1)*2 - 1
+}
+
+// Range maps 61-bit field hashes to [0, n) with Lemire's multiply-shift
+// reduction (fastrange): bucket = floor(h·n / 2^61), one widening
+// multiply and two shifts instead of a hardware divide. Requires
+// h < 2^61 (every polynomial-family hash satisfies this). The map sends
+// equal-size contiguous hash ranges to each bucket, so it inherits the
+// hash family's independence guarantees exactly like `mod n` does — it
+// just slices the field into consecutive runs instead of interleaved
+// residue classes, with the same ≤ n/2^61 non-uniformity.
+type Range struct{ n uint64 }
+
+// NewRange builds a reducer onto [0, n). It panics if n == 0.
+func NewRange(n uint64) Range {
+	if n == 0 {
+		panic("rng: NewRange requires n >= 1")
+	}
+	return Range{n: n}
+}
+
+// N returns the bucket count.
+func (r Range) N() uint64 { return r.n }
+
+// Bucket maps a field hash h < 2^61 to [0, n).
+func (r Range) Bucket(h uint64) uint64 {
+	hi, lo := bits.Mul64(h, r.n)
+	return hi<<3 | lo>>61
 }
 
 // MultShift is a 2-universal multiply–shift hash for 64-bit keys:

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -208,6 +209,153 @@ func TestMix64Bijective(t *testing.T) {
 		}
 		seen[v] = i
 	}
+}
+
+func TestMod61MatchesDivide(t *testing.T) {
+	cases := []uint64{0, 1, mersenne61 - 1, mersenne61, mersenne61 + 1,
+		1 << 61, 1<<61 + 5, ^uint64(0), ^uint64(0) - 6}
+	for _, x := range cases {
+		if got, want := Mod61(x), x%mersenne61; got != want {
+			t.Fatalf("Mod61(%#x) = %d, want %d", x, got, want)
+		}
+	}
+	f := func(x uint64) bool { return Mod61(x) == x%mersenne61 }
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHash2MatchesPolyHash pins the refactor's core invariant: the flat
+// degree-1 kernel consumes the same generator draws and produces the same
+// hash values as the PolyHash it replaces, so every seeded sketch keeps
+// its exact pre-refactor state.
+func TestHash2MatchesPolyHash(t *testing.T) {
+	rA, rB := New(42), New(42)
+	for round := 0; round < 32; round++ {
+		p := NewPolyHash(2, rA)
+		h := NewHash2(rB)
+		if got := h.Coefficients(); got[0] != p.Coefficients()[0] || got[1] != p.Coefficients()[1] {
+			t.Fatalf("round %d: coefficient draws diverge: %v vs %v", round, got, p.Coefficients())
+		}
+		for _, x := range []uint64{0, 1, 7, 1 << 40, ^uint64(0), 0x9e3779b97f4a7c15} {
+			if h.Hash(x) != p.Hash(x) {
+				t.Fatalf("round %d: Hash2(%#x) = %d, PolyHash = %d", round, x, h.Hash(x), p.Hash(x))
+			}
+			if h.Unit(x) != p.Unit(x) {
+				t.Fatalf("round %d: Unit(%#x) diverges", round, x)
+			}
+		}
+		if rt := Hash2FromCoefficients(h.Coefficients()); rt != h {
+			t.Fatalf("round %d: coefficient round trip %v != %v", round, rt, h)
+		}
+	}
+}
+
+// TestHash4MatchesPolyHash is the 4-wise twin of TestHash2MatchesPolyHash.
+func TestHash4MatchesPolyHash(t *testing.T) {
+	rA, rB := New(43), New(43)
+	for round := 0; round < 32; round++ {
+		p := NewPolyHash(4, rA)
+		h := NewHash4(rB)
+		for i, c := range h.Coefficients() {
+			if c != p.Coefficients()[i] {
+				t.Fatalf("round %d: coefficient %d diverges", round, i)
+			}
+		}
+		for _, x := range []uint64{0, 1, 7, 1 << 40, ^uint64(0), 0xdeadbeef} {
+			if h.Hash(x) != p.Hash(x) {
+				t.Fatalf("round %d: Hash4(%#x) = %d, PolyHash = %d", round, x, h.Hash(x), p.Hash(x))
+			}
+			if h.Sign(x) != p.Sign(x) {
+				t.Fatalf("round %d: Sign(%#x) diverges", round, x)
+			}
+		}
+		if rt := Hash4FromCoefficients(h.Coefficients()); rt != h {
+			t.Fatalf("round %d: coefficient round trip diverges", round)
+		}
+	}
+}
+
+func TestHashFromCoefficientsPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"hash2-count": func() { Hash2FromCoefficients([]uint64{1}) },
+		"hash2-field": func() { Hash2FromCoefficients([]uint64{1, mersenne61}) },
+		"hash4-count": func() { Hash4FromCoefficients([]uint64{1, 2, 3}) },
+		"hash4-field": func() { Hash4FromCoefficients([]uint64{1, 2, 3, mersenne61}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestRangeBucketExact pins the fastrange reduction: Bucket(h) must be
+// exactly floor(h·n / 2^61) and land in [0, n) for every field hash,
+// across bucket counts from 1 to sketch-sized, with the distribution
+// matching the contiguous-slice map the analysis assumes.
+func TestRangeBucketExact(t *testing.T) {
+	ns := []uint64{1, 2, 3, 5, 7, 16, 64, 100, 1023, 1024, 4096, 5910,
+		1<<24 - 3, 1 << 24}
+	hashes := []uint64{0, 1, 2, 63, 64, 1<<60 + 12345, 1<<61 - 3, 1<<61 - 2}
+	for _, n := range ns {
+		rr := NewRange(n)
+		if rr.N() != n {
+			t.Fatalf("Range(%d).N() = %d", n, rr.N())
+		}
+		for _, h := range hashes {
+			got := rr.Bucket(h)
+			// Independent reference: floor(h·n / 2^61) in big-int math.
+			want := new(big.Int).Mul(new(big.Int).SetUint64(h), new(big.Int).SetUint64(n))
+			want.Rsh(want, 61)
+			if got != want.Uint64() || got >= n {
+				t.Fatalf("Range(%d).Bucket(%d) = %d, want %d (< %d)", n, h, got, want.Uint64(), n)
+			}
+		}
+	}
+	// Monotone and balanced: consecutive hash ranges of equal size map to
+	// consecutive buckets.
+	rr := NewRange(16)
+	prev := uint64(0)
+	for h := uint64(0); h < 1<<61-1; h += (1 << 61) / 97 {
+		b := rr.Bucket(h)
+		if b < prev {
+			t.Fatalf("Bucket not monotone: h=%d gave %d after %d", h, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestNewRangePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRange(0) did not panic")
+		}
+	}()
+	NewRange(0)
+}
+
+func BenchmarkHash2Bucket(b *testing.B) {
+	h := NewHash2(New(1))
+	rr := NewRange(5910)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rr.Bucket(h.Hash(uint64(i)))
+	}
+	_ = sink
+}
+
+func BenchmarkPolyHash2BucketDivide(b *testing.B) {
+	h := NewPolyHash(2, New(1))
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Bucket(uint64(i), 5910)
+	}
+	_ = sink
 }
 
 func BenchmarkPolyHash4Wise(b *testing.B) {

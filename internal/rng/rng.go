@@ -7,7 +7,10 @@
 // makes the experiment harness and the statistical tests reproducible.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // splitmix64Next advances a SplitMix64 state and returns the next output.
 // SplitMix64 is used both as a tiny standalone PRNG and to expand a single
@@ -180,15 +183,8 @@ func (x *Xoshiro256) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
-// mul64 returns the 128-bit product of a and b as (hi, lo).
+// mul64 returns the 128-bit product of a and b as (hi, lo), via the
+// single-instruction intrinsic.
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t&mask32 + a0*b1
-	hi = a1*b1 + t>>32 + w1>>32
-	lo = a * b
-	return hi, lo
+	return bits.Mul64(a, b)
 }

@@ -10,8 +10,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"substream/internal/stream"
 )
 
 // AgentConfig configures an agent daemon.
@@ -44,6 +47,11 @@ type Agent struct {
 
 	mu      sync.RWMutex
 	streams map[string]*agentStream
+	// sorted caches the name-sorted registry for snapshotStreams;
+	// invalidated (nil) by create/delete so the periodic FlushAll tick
+	// stops re-sorting an unchanged fleet. Guarded by mu; the published
+	// slice is never mutated, only replaced.
+	sorted []*agentStream
 }
 
 // agentStream is one registered stream. shipMu binds the snapshot to its
@@ -144,6 +152,7 @@ func (a *Agent) CreateStream(name string, cfg StreamConfig) error {
 		return err
 	}
 	a.streams[name] = &agentStream{name: name, cfg: cfg, run: run}
+	a.sorted = nil
 	a.cfg.Logf("substreamd: agent %s: stream %q registered (stat=%s p=%g shards=%d)",
 		a.cfg.ID, name, cfg.Stat, cfg.P, cfg.Shards)
 	return nil
@@ -157,16 +166,28 @@ func (a *Agent) lookup(name string) (*agentStream, bool) {
 	return st, ok
 }
 
-// snapshotStreams returns the current registry, sorted by name.
+// snapshotStreams returns the current registry, sorted by name. The
+// sorted slice is cached between create/delete events, so the periodic
+// FlushAll tick and every list/estimate query share one sort instead of
+// re-sorting an unchanged registry each time.
 func (a *Agent) snapshotStreams() []*agentStream {
 	a.mu.RLock()
-	defer a.mu.RUnlock()
-	out := make([]*agentStream, 0, len(a.streams))
-	for _, st := range a.streams {
-		out = append(out, st)
+	out := a.sorted
+	a.mu.RUnlock()
+	if out != nil {
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sorted == nil {
+		out = make([]*agentStream, 0, len(a.streams))
+		for _, st := range a.streams {
+			out = append(out, st)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+		a.sorted = out
+	}
+	return a.sorted
 }
 
 func (a *Agent) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -209,6 +230,7 @@ func (a *Agent) handleDelete(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	st, ok := a.streams[name]
 	delete(a.streams, name)
+	a.sorted = nil
 	a.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream %q", name)
@@ -226,8 +248,38 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
+	isBinary, err := parseIngestType(r.Header.Get("Content-Type"))
+	if err != nil {
+		a.metrics.IngestErrors.Add(1)
+		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		return
+	}
+	// A declared length over the limit is doomed before the first byte:
+	// reject it here so the streaming binary path never ingests a
+	// prefix of a request MaxBytesReader would kill partway through.
+	if r.ContentLength > maxIngestBytes {
+		a.metrics.IngestErrors.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"ingest body %d bytes exceeds the %d-byte limit", r.ContentLength, int64(maxIngestBytes))
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxIngestBytes)
-	items, err := decodeItems(r.Header.Get("Content-Type"), body, r.ContentLength)
+	if isBinary {
+		// Binary bodies stream through pooled chunk buffers straight into
+		// the pipeline — no per-request allocation, no materialized
+		// request. A mid-body error cannot un-ingest earlier chunks, so
+		// the error reports how many items were already consumed.
+		n, err := decodeBinaryStream(body, func(chunk stream.Slice) { st.run.ingestCopy(chunk) })
+		a.metrics.IngestItems.Add(int64(n))
+		if err != nil {
+			a.metrics.IngestErrors.Add(1)
+			writeError(w, http.StatusBadRequest, "bad ingest body after %d items: %v", n, err)
+			return
+		}
+		writeIngested(w, n)
+		return
+	}
+	items, err := decodeTextItems(body)
 	if err != nil {
 		a.metrics.IngestErrors.Add(1)
 		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
@@ -235,7 +287,20 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	st.run.ingest(items)
 	a.metrics.IngestItems.Add(int64(len(items)))
-	writeJSON(w, http.StatusOK, map[string]any{"ingested": len(items)})
+	writeIngested(w, len(items))
+}
+
+// writeIngested renders the ingest success envelope without the generic
+// JSON encoder: the one response on the daemon's hottest endpoint is
+// worth formatting into a stack buffer.
+func writeIngested(w http.ResponseWriter, n int) {
+	var buf [40]byte
+	b := append(buf[:0], `{"ingested":`...)
+	b = strconv.AppendInt(b, int64(n), 10)
+	b = append(b, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 func (a *Agent) handleEstimate(w http.ResponseWriter, r *http.Request) {

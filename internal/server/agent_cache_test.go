@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSnapshotStreamsCacheInvalidation drives the sorted-registry cache
+// through create/read/delete cycles: snapshots must stay name-sorted and
+// current after every mutation, and an unchanged registry must hand back
+// the identical cached slice instead of re-sorting.
+func TestSnapshotStreamsCacheInvalidation(t *testing.T) {
+	a := NewAgent(AgentConfig{ID: "cache-test"})
+	defer a.Close()
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 3, Presampled: true, Shards: 1}
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := a.CreateStream(name, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := func() []string {
+		var out []string
+		for _, st := range a.snapshotStreams() {
+			out = append(out, st.name)
+		}
+		return out
+	}
+	first := a.snapshotStreams()
+	if got := names(); len(got) != 3 || got[0] != "alpha" || got[1] != "mid" || got[2] != "zeta" {
+		t.Fatalf("snapshot not sorted: %v", got)
+	}
+	if second := a.snapshotStreams(); &second[0] != &first[0] {
+		t.Fatal("unchanged registry rebuilt its snapshot instead of reusing the cache")
+	}
+	if err := a.CreateStream("beta", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := names(); len(got) != 4 || got[1] != "beta" {
+		t.Fatalf("snapshot stale after create: %v", got)
+	}
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/mid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete returned %s", resp.Status)
+	}
+	if got := names(); len(got) != 3 || got[0] != "alpha" || got[1] != "beta" || got[2] != "zeta" {
+		t.Fatalf("snapshot stale after delete: %v", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"mime"
 	"strings"
+	"sync"
 
 	"substream/internal/stream"
 )
@@ -18,12 +19,31 @@ const (
 	ContentTypeBinary = "application/octet-stream"
 )
 
-// decodeItems parses an ingest request body according to its content
-// type. An empty content type defaults to text. sizeBytes, when known
-// (Content-Length), pre-sizes the binary decode so a maximum-size batch
-// does not pay repeated slice growth on the hot path; pass -1 if
-// unknown.
-func decodeItems(contentType string, body io.Reader, sizeBytes int64) (stream.Slice, error) {
+// binaryChunkItems is the number of items decoded per pooled chunk: a
+// 64 KiB read buffer's worth, matching the old one-shot scratch size
+// while bounding per-request memory to one chunk regardless of body
+// size.
+const binaryChunkItems = 8192
+
+// The binary ingest path recycles its working memory across requests:
+// one read scratch buffer and one decoded-items buffer per in-flight
+// request, drawn from pools so steady-state decoding allocates nothing.
+// Both pools hold pointers (not slices) so Get/Put round trips stay
+// allocation-free.
+var (
+	scratchPool = sync.Pool{New: func() any {
+		b := make([]byte, 8*binaryChunkItems)
+		return &b
+	}}
+	itemsPool = sync.Pool{New: func() any {
+		s := make(stream.Slice, 0, binaryChunkItems)
+		return &s
+	}}
+)
+
+// parseIngestType normalizes an ingest request's Content-Type: empty and
+// text/* select the text format, ContentTypeBinary the binary one.
+func parseIngestType(contentType string) (binary bool, err error) {
 	ct := contentType
 	if ct != "" {
 		if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
@@ -32,44 +52,68 @@ func decodeItems(contentType string, body io.Reader, sizeBytes int64) (stream.Sl
 	}
 	switch {
 	case ct == "" || strings.HasPrefix(ct, "text/"):
-		return stream.ReadText(body)
+		return false, nil
 	case ct == ContentTypeBinary:
-		return decodeBinaryItems(body, sizeBytes)
+		return true, nil
 	default:
-		return nil, fmt.Errorf("unsupported content type %q (want %s or %s)",
+		return false, fmt.Errorf("unsupported content type %q (want %s or %s)",
 			contentType, ContentTypeText, ContentTypeBinary)
 	}
 }
 
-// decodeBinaryItems reads fixed 8-byte little-endian items until EOF,
-// in 64 KiB chunks.
-func decodeBinaryItems(body io.Reader, sizeBytes int64) (stream.Slice, error) {
-	var out stream.Slice
-	if sizeBytes > 0 && sizeBytes <= maxIngestBytes {
-		out = make(stream.Slice, 0, sizeBytes/8)
-	}
-	buf := make([]byte, 64*1024)
+// decodeTextItems parses a text ingest body into a materialized slice.
+// The line-oriented format is the debugging convenience path; the binary
+// format is the throughput path and streams instead.
+func decodeTextItems(body io.Reader) (stream.Slice, error) {
+	return stream.ReadText(body)
+}
+
+// decodeBinaryStream reads fixed 8-byte little-endian items and hands
+// them to sink in chunks of at most binaryChunkItems, without ever
+// materializing the request: working memory is one pooled scratch buffer
+// plus one pooled item buffer, both recycled afterwards, so the steady
+// state allocates nothing. sink owns its argument only for the duration
+// of the call (the buffer is reused for the next chunk). Returns how
+// many items reached the sink; on a mid-body error (zero item,
+// truncated record, read failure) chunks already handed to sink stay
+// consumed — HTTP cannot roll them back — and the count says how many.
+func decodeBinaryStream(body io.Reader, sink func(stream.Slice)) (int, error) {
+	bufp := scratchPool.Get().(*[]byte)
+	itemsp := itemsPool.Get().(*stream.Slice)
+	total, err := decodeBinaryChunks(body, *bufp, (*itemsp)[:0], sink)
+	scratchPool.Put(bufp)
+	itemsPool.Put(itemsp)
+	return total, err
+}
+
+func decodeBinaryChunks(body io.Reader, buf []byte, items stream.Slice, sink func(stream.Slice)) (int, error) {
+	total := 0
 	fill := 0 // bytes of a partial trailing record carried between reads
 	for {
 		n, err := io.ReadFull(body, buf[fill:])
 		n += fill
 		complete := n - n%8
+		items = items[:0]
 		for off := 0; off < complete; off += 8 {
 			v := binary.LittleEndian.Uint64(buf[off:])
 			if v == 0 {
-				return nil, fmt.Errorf("item 0 is outside the 1-based universe")
+				return total, fmt.Errorf("item 0 is outside the 1-based universe")
 			}
-			out = append(out, stream.Item(v))
+			items = append(items, stream.Item(v))
+		}
+		if len(items) > 0 {
+			sink(items)
+			total += len(items)
 		}
 		fill = copy(buf, buf[complete:n])
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			if fill != 0 {
-				return nil, fmt.Errorf("binary item stream truncated mid-item (%d trailing bytes)", fill)
+				return total, fmt.Errorf("binary item stream truncated mid-item (%d trailing bytes)", fill)
 			}
-			return out, nil
+			return total, nil
 		}
 		if err != nil {
-			return nil, err
+			return total, err
 		}
 	}
 }

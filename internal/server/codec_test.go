@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"substream/internal/stream"
+)
+
+func encodeBinary(items []uint64) []byte {
+	buf := make([]byte, 8*len(items))
+	for i, v := range items {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return buf
+}
+
+func collectSink(dst *stream.Slice) func(stream.Slice) {
+	return func(chunk stream.Slice) { *dst = append(*dst, chunk...) }
+}
+
+func TestDecodeBinaryStreamRoundTrip(t *testing.T) {
+	// Spans several pooled chunks and ends on a non-chunk boundary, so
+	// the carry-between-reads path runs.
+	items := make([]uint64, 3*binaryChunkItems+1234)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	var got stream.Slice
+	n, err := decodeBinaryStream(bytes.NewReader(encodeBinary(items)), collectSink(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(items) || len(got) != len(items) {
+		t.Fatalf("decoded %d items (sink saw %d), want %d", n, len(got), len(items))
+	}
+	for i, v := range items {
+		if got[i] != stream.Item(v) {
+			t.Fatalf("item %d decoded as %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestDecodeBinaryStreamRejectsCorruption(t *testing.T) {
+	t.Run("truncated", func(t *testing.T) {
+		var got stream.Slice
+		_, err := decodeBinaryStream(bytes.NewReader([]byte{1, 2, 3}), collectSink(&got))
+		if err == nil || !strings.Contains(err.Error(), "truncated mid-item") {
+			t.Fatalf("truncated body error = %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("sink saw %d items from a truncated 3-byte body", len(got))
+		}
+	})
+	t.Run("zero-item", func(t *testing.T) {
+		var got stream.Slice
+		body := encodeBinary([]uint64{5, 6, 0, 7})
+		n, err := decodeBinaryStream(bytes.NewReader(body), collectSink(&got))
+		if err == nil || !strings.Contains(err.Error(), "1-based universe") {
+			t.Fatalf("zero-item error = %v", err)
+		}
+		// Items before the bad record in the same chunk are not handed
+		// to the sink; the reported count matches what the sink saw.
+		if n != len(got) {
+			t.Fatalf("reported %d ingested items but sink saw %d", n, len(got))
+		}
+	})
+	t.Run("zero-item-after-full-chunks", func(t *testing.T) {
+		items := make([]uint64, binaryChunkItems+4)
+		for i := range items {
+			items[i] = uint64(i + 1)
+		}
+		items[len(items)-1] = 0
+		var got stream.Slice
+		n, err := decodeBinaryStream(bytes.NewReader(encodeBinary(items)), collectSink(&got))
+		if err == nil {
+			t.Fatal("zero item after full chunks accepted")
+		}
+		if n != binaryChunkItems || len(got) != binaryChunkItems {
+			t.Fatalf("consumed-prefix count = %d (sink %d), want %d", n, len(got), binaryChunkItems)
+		}
+	})
+}
+
+func TestDecodeBinaryStreamEmptyBody(t *testing.T) {
+	var got stream.Slice
+	n, err := decodeBinaryStream(bytes.NewReader(nil), collectSink(&got))
+	if err != nil || n != 0 || len(got) != 0 {
+		t.Fatalf("empty body: n=%d err=%v sink=%d", n, err, len(got))
+	}
+}
+
+// TestDecodeBinaryStreamAllocFree pins the tentpole's steady-state
+// guarantee: after the pools warm up, decoding a request body allocates
+// nothing — scratch and item buffers are recycled, not remade, per
+// request.
+func TestDecodeBinaryStreamAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the strict bound")
+	}
+	items := make([]uint64, 2*binaryChunkItems+100)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	body := encodeBinary(items)
+	rd := bytes.NewReader(body)
+	sink := func(stream.Slice) {}
+	// Warm the pools once outside the measured runs.
+	if _, err := decodeBinaryStream(rd, sink); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(body)
+		if _, err := decodeBinaryStream(rd, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decodeBinaryStream allocates %v objects per request in steady state, want 0", allocs)
+	}
+}
+
+// TestIngestRejectsDeclaredOversizeAtomically pins the up-front length
+// gate: a request whose Content-Length exceeds the ingest limit must be
+// refused with 413 before ANY item reaches the estimators — the
+// streaming decode path must not ingest a doomed request's prefix.
+func TestIngestRejectsDeclaredOversizeAtomically(t *testing.T) {
+	a := NewAgent(AgentConfig{ID: "oversize-test"})
+	defer a.Close()
+	if err := a.CreateStream("s", StreamConfig{Stat: "exactcounter", P: 1, Seed: 1, Presampled: true, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+	// Declare an over-limit length; send only a small (valid) prefix so
+	// a buggy streaming path would have something to ingest.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/streams/s/ingest",
+		bytes.NewReader(encodeBinary([]uint64{1, 2, 3})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	req.ContentLength = maxIngestBytes + 1
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversize ingest returned %s, want 413", resp.Status)
+		}
+	}
+	// Whether or not the client transport surfaced the early close as an
+	// error, nothing may have been ingested.
+	st, ok := a.lookup("s")
+	if !ok {
+		t.Fatal("stream vanished")
+	}
+	if fed, _ := st.run.counts(); fed != 0 {
+		t.Fatalf("oversize request ingested %d items, want 0", fed)
+	}
+}
+
+func TestParseIngestType(t *testing.T) {
+	cases := []struct {
+		ct      string
+		binary  bool
+		wantErr bool
+	}{
+		{"", false, false},
+		{ContentTypeText, false, false},
+		{"text/plain; charset=utf-8", false, false},
+		{ContentTypeBinary, true, false},
+		{"application/json", false, true},
+	}
+	for _, c := range cases {
+		bin, err := parseIngestType(c.ct)
+		if (err != nil) != c.wantErr || bin != c.binary {
+			t.Fatalf("parseIngestType(%q) = (%v, %v), want (%v, err=%v)", c.ct, bin, err, c.binary, c.wantErr)
+		}
+	}
+}

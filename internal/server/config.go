@@ -241,7 +241,13 @@ type Summary struct {
 // fed/kept counts captured atomically with it, so a shipped Summary's
 // totals always describe exactly its Payload.
 type streamRunner interface {
+	// ingest hands ownership of items to the runner (zero-copy dispatch;
+	// the caller must not reuse the slice).
 	ingest(items stream.Slice)
+	// ingestCopy copies items into the runner's own batch buffers; the
+	// caller keeps ownership and may reuse the slice immediately — the
+	// pooled streaming-decode path depends on this.
+	ingestCopy(items stream.Slice)
 	estimates() (Estimates, error)
 	snapshot() (payload []byte, epoch uint64, fed, kept uint64, err error)
 	counts() (fed, kept uint64)
@@ -297,6 +303,15 @@ func (r *runner) ingest(items stream.Slice) {
 		return
 	}
 	r.pl.FeedSlice(items)
+}
+
+func (r *runner) ingestCopy(items stream.Slice) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.pl.FeedCopy(items)
 }
 
 // merged quiesces the pipeline and folds every shard replica into a

@@ -29,7 +29,9 @@
 // The rules:
 //
 //   - Every payload starts with a one-byte TYPE TAG and a one-byte
-//     FORMAT VERSION (sketch.WireVersion, currently 1).
+//     FORMAT VERSION (sketch.WireVersion, currently 2 — bumped when the
+//     table sketches moved to divide-free fastrange bucket mapping,
+//     which changes where version-1 tables placed their counts).
 //   - Tag assignments are owned by the internal/estimator registry: each
 //     serializable type Registers its tag, name, decoder, and constructor
 //     from its own package, and estimator.Kinds() (surfaced as

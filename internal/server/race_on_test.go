@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds bookkeeping allocations that would fail the
+// strict zero-alloc assertions.
+const raceEnabled = true

@@ -16,7 +16,7 @@ type AMS struct {
 	groups   int
 	perGroup int
 	counters []int64
-	signs    []*rng.PolyHash
+	signs    []rng.Hash4 // flat 4-wise sign kernels, one per counter
 }
 
 // NewAMS builds a tug-of-war sketch with the given shape.
@@ -29,18 +29,20 @@ func NewAMS(groups, perGroup int, r *rng.Xoshiro256) *AMS {
 		groups:   groups,
 		perGroup: perGroup,
 		counters: make([]int64, total),
-		signs:    make([]*rng.PolyHash, total),
+		signs:    make([]rng.Hash4, total),
 	}
 	for i := range a.signs {
-		a.signs[i] = rng.NewPolyHash(4, r)
+		a.signs[i] = rng.NewHash4(r)
 	}
 	return a
 }
 
 // Add records count occurrences of item.
 func (a *AMS) Add(it stream.Item, count int64) {
+	x := rng.Mod61(uint64(it))
 	for i := range a.counters {
-		a.counters[i] += int64(a.signs[i].Sign(uint64(it))) * count
+		sign := int64(a.signs[i].Eval(x)&1)*2 - 1
+		a.counters[i] += sign * count
 	}
 }
 

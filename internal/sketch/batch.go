@@ -1,89 +1,196 @@
 package sketch
 
-import "substream/internal/stream"
+import (
+	"math/bits"
 
-// This file adds batched update paths. UpdateBatch(items) is semantically
-// equivalent to calling Observe on each item in order, but amortizes the
-// per-item costs that dominate high-throughput ingestion: interface
-// dispatch at the call site, and — for the table-based sketches — hash
-// and row bookkeeping, which the batch loops reorganize row-major so each
-// hash function and table row stays hot across the whole batch.
+	"substream/internal/rng"
+	"substream/internal/stream"
+)
+
+// This file adds batched update paths. UpdateBatch(items) produces state
+// bit-identical to calling Observe on each item in order (the invariant
+// internal/estimator's equivalence test pins for every registered kind),
+// but amortizes the per-item costs that dominate high-throughput
+// ingestion: interface dispatch at the call site, hash and row
+// bookkeeping for the table-based sketches (reorganized row-major on the
+// flat Hash2/Hash4 kernels so each row's coefficients stay in registers
+// across the whole batch), map lookups for the counter-based summaries
+// (amortized across runs of equal items), and heap admission for KMV
+// (a threshold prefilter rejects most hashes before any map or heap
+// work).
 //
 // The sharded ingestion pipeline (internal/pipeline) feeds estimators
 // exclusively through this path.
 
 // UpdateBatch records one occurrence of every item in items. It is
 // equivalent to (but faster than) calling Observe per item: the loop runs
-// row-major, so one hash function and one table row are reused across the
-// whole batch.
+// row-major, so one row kernel and one table row are reused across the
+// whole batch, and bucket reduction uses the precomputed divide-free
+// reciprocal.
 func (cm *CountMin) UpdateBatch(items []stream.Item) {
+	rr := cm.rr
 	for row := 0; row < cm.depth; row++ {
-		h := cm.hashes[row]
+		h := cm.rows[row]
 		base := row * cm.width
+		tbl := cm.table[base : base+cm.width : base+cm.width]
 		for _, it := range items {
-			cm.table[base+h.Bucket(uint64(it), cm.width)]++
+			tbl[rr.Bucket(h.Eval(rng.Mod61(uint64(it))))]++
 		}
 	}
 	cm.n += uint64(len(items))
 }
 
 // UpdateBatch records one occurrence of every item in items, row-major
-// like CountMin.UpdateBatch.
+// like CountMin.UpdateBatch: each row keeps its bucket and sign kernels
+// in registers while scanning the batch.
 func (cs *CountSketch) UpdateBatch(items []stream.Item) {
+	rr := cs.rr
 	for row := 0; row < cs.depth; row++ {
 		bucket, sign := cs.buckets[row], cs.signs[row]
 		base := row * cs.width
+		tbl := cs.table[base : base+cs.width : base+cs.width]
 		for _, it := range items {
-			cs.table[base+bucket.Bucket(uint64(it), cs.width)] += int64(sign.Sign(uint64(it)))
+			x := rng.Mod61(uint64(it))
+			tbl[rr.Bucket(bucket.Eval(x))] += int64(sign.Eval(x)&1)*2 - 1
 		}
 	}
 	cs.n += uint64(len(items))
 }
 
 // UpdateBatch records one occurrence of every item in items,
-// counter-major so each sign function stays in registers across the
+// counter-major so each sign kernel stays in registers across the
 // batch.
 func (a *AMS) UpdateBatch(items []stream.Item) {
 	for i := range a.counters {
 		sign := a.signs[i]
 		var acc int64
 		for _, it := range items {
-			acc += int64(sign.Sign(uint64(it)))
+			acc += int64(sign.Eval(rng.Mod61(uint64(it)))&1)*2 - 1
 		}
 		a.counters[i] += acc
 	}
 }
 
-// UpdateBatch feeds every item in items.
+// UpdateBatch feeds every item in items through a hash-then-threshold
+// prefilter: once the heap is full, a hash at or above the current k-th
+// minimum can change nothing (admitHash would reject it, duplicate or
+// not), so the batch loop discards it before any map lookup or heap
+// work. On a saturated sketch almost every item takes this three-
+// instruction path.
 func (s *KMV) UpdateBatch(items []stream.Item) {
+	h := s.h
 	for _, it := range items {
-		s.Observe(it)
+		hv := h.Hash(uint64(it))
+		if len(s.heap) == s.k && hv >= s.heap[0] {
+			continue
+		}
+		s.admitHash(hv)
 	}
 }
 
-// UpdateBatch feeds every item in items.
+// UpdateBatch feeds every item in items with the register array and hash
+// seeds hoisted into locals, so the loop runs without reloading receiver
+// fields.
 func (h *HLL) UpdateBatch(items []stream.Item) {
+	regs := h.registers
+	a, b, p := h.seedA, h.seedB, h.precision
 	for _, it := range items {
-		h.Observe(it)
+		x := rng.Mix64(uint64(it)*a + b)
+		idx := x >> (64 - p)
+		rest := x<<p | 1<<(p-1) // sentinel bit bounds the rank
+		rank := uint8(bits.LeadingZeros64(rest)) + 1
+		if rank > regs[idx] {
+			regs[idx] = rank
+		}
 	}
 }
 
-// UpdateBatch feeds every item in items.
+// UpdateBatch feeds every item in items, amortizing map lookups across
+// runs of equal items: a run landing on a tracked counter pays one
+// lookup and one write for the whole run (a tracked counter only grows,
+// so no decrement-all can fire mid-run). Untracked items take the exact
+// per-item Observe policy.
 func (mg *MisraGries) UpdateBatch(items []stream.Item) {
-	for _, it := range items {
-		mg.Observe(it)
+	for i := 0; i < len(items); {
+		it := items[i]
+		j := i + 1
+		for j < len(items) && items[j] == it {
+			j++
+		}
+		run := uint64(j - i)
+		if c, ok := mg.counters[it]; ok {
+			mg.counters[it] = c + run
+			mg.n += run
+			i = j
+			continue
+		}
+		// Untracked: the Observe policy, inlined so the admission reuses
+		// this loop's lookup instead of paying a second one.
+		mg.n++
+		i++
+		if len(mg.counters) < mg.k {
+			// Admitted — the rest of the run increments the new counter.
+			mg.counters[it] = run
+			mg.n += run - 1
+			i = j
+			continue
+		}
+		// Decrement-all; the next occurrence in the run (if any) retries
+		// with whatever capacity the deletions freed.
+		for key, c := range mg.counters {
+			if c == 1 {
+				delete(mg.counters, key)
+			} else {
+				mg.counters[key] = c - 1
+			}
+		}
 	}
 }
 
-// UpdateBatch feeds every item in items.
+// UpdateBatch feeds every item in items, amortizing index-map lookups
+// across runs of equal items: within a run the item's heap position is
+// carried from sift to sift instead of re-queried, producing exactly the
+// per-item increment-and-sift sequence Observe would.
 func (ss *SpaceSaving) UpdateBatch(items []stream.Item) {
-	for _, it := range items {
-		ss.Observe(it)
+	for i := 0; i < len(items); {
+		it := items[i]
+		j := i + 1
+		for j < len(items) && items[j] == it {
+			j++
+		}
+		pos, ok := ss.index[it]
+		if !ok {
+			// Admission or replace-min: the Observe policy, inlined so
+			// the rest of the run can sift from the admitted position
+			// without a second index lookup.
+			ss.n++
+			i++
+			if len(ss.h) < ss.k {
+				ss.h = append(ss.h, ssEntry{item: it, count: 1})
+				ss.index[it] = len(ss.h) - 1
+				pos = ss.up(len(ss.h) - 1)
+			} else {
+				min := ss.h[0]
+				delete(ss.index, min.item)
+				ss.h[0] = ssEntry{item: it, count: min.count + 1, err: min.count}
+				ss.index[it] = 0
+				pos = ss.down(0)
+			}
+		}
+		for ; i < j; i++ {
+			ss.n++
+			ss.h[pos].count++
+			pos = ss.down(pos)
+		}
 	}
 }
 
 // UpdateBatch feeds every item in items, probe-major: each reservoir
-// probe's state stays in registers while it scans the batch.
+// probe's state stays in registers while it scans the batch. The probes'
+// generator draws interleave differently than per-item Observe, so the
+// resulting state is statistically — not bit-for-bit — identical; this
+// sketch has no wire form, and the registered entropy kind uses the
+// plugin backend.
 func (e *EntropyEstimator) UpdateBatch(items []stream.Item) {
 	n := e.n
 	for probe := range e.items {

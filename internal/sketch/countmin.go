@@ -23,11 +23,12 @@ import (
 // 1−δ when built with width e/ε and depth ln(1/δ), where N is the total
 // count added.
 type CountMin struct {
-	width  int
-	depth  int
-	table  []uint64 // depth rows of width cells, row-major
-	hashes []*rng.PolyHash
-	n      uint64
+	width int
+	depth int
+	table []uint64    // depth rows of width cells, row-major
+	rows  []rng.Hash2 // one flat degree-1 kernel per row
+	rr    rng.Range   // divide-free bucket reduction (fastrange)
+	n     uint64
 }
 
 // NewCountMin builds a sketch with the given width and depth, drawing
@@ -37,13 +38,14 @@ func NewCountMin(width, depth int, r *rng.Xoshiro256) *CountMin {
 		panic("sketch: CountMin width and depth must be >= 1")
 	}
 	cm := &CountMin{
-		width:  width,
-		depth:  depth,
-		table:  make([]uint64, width*depth),
-		hashes: make([]*rng.PolyHash, depth),
+		width: width,
+		depth: depth,
+		table: make([]uint64, width*depth),
+		rows:  make([]rng.Hash2, depth),
+		rr:    rng.NewRange(uint64(width)),
 	}
-	for i := range cm.hashes {
-		cm.hashes[i] = rng.NewPolyHash(2, r)
+	for i := range cm.rows {
+		cm.rows[i] = rng.NewHash2(r)
 	}
 	return cm
 }
@@ -64,9 +66,10 @@ func NewCountMinWithError(epsilon, delta float64, r *rng.Xoshiro256) *CountMin {
 
 // Add records count occurrences of item.
 func (cm *CountMin) Add(it stream.Item, count uint64) {
+	x := rng.Mod61(uint64(it))
 	for row := 0; row < cm.depth; row++ {
-		col := cm.hashes[row].Bucket(uint64(it), cm.width)
-		cm.table[row*cm.width+col] += count
+		col := cm.rr.Bucket(cm.rows[row].Eval(x))
+		cm.table[uint64(row*cm.width)+col] += count
 	}
 	cm.n += count
 }
@@ -77,10 +80,11 @@ func (cm *CountMin) Observe(it stream.Item) { cm.Add(it, 1) }
 // Estimate returns the point estimate f̂_i = min over rows. It never
 // underestimates the true count.
 func (cm *CountMin) Estimate(it stream.Item) uint64 {
+	x := rng.Mod61(uint64(it))
 	est := uint64(math.MaxUint64)
 	for row := 0; row < cm.depth; row++ {
-		col := cm.hashes[row].Bucket(uint64(it), cm.width)
-		if v := cm.table[row*cm.width+col]; v < est {
+		col := cm.rr.Bucket(cm.rows[row].Eval(x))
+		if v := cm.table[uint64(row*cm.width)+col]; v < est {
 			est = v
 		}
 	}
@@ -99,5 +103,5 @@ func (cm *CountMin) Depth() int { return cm.depth }
 // SpaceBytes returns the approximate memory footprint of the sketch, used
 // by the experiment harness for space accounting.
 func (cm *CountMin) SpaceBytes() int {
-	return 8*len(cm.table) + 24*cm.depth
+	return 8*len(cm.table) + 16*cm.depth + 24
 }

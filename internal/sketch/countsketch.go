@@ -17,8 +17,9 @@ type CountSketch struct {
 	width   int
 	depth   int
 	table   []int64
-	buckets []*rng.PolyHash // pairwise-independent bucket choice
-	signs   []*rng.PolyHash // 4-wise-independent signs
+	buckets []rng.Hash2 // pairwise-independent bucket choice, flat rows
+	signs   []rng.Hash4 // 4-wise-independent signs, flat rows
+	rr      rng.Range   // divide-free bucket reduction (fastrange)
 	n       uint64
 }
 
@@ -31,12 +32,13 @@ func NewCountSketch(width, depth int, r *rng.Xoshiro256) *CountSketch {
 		width:   width,
 		depth:   depth,
 		table:   make([]int64, width*depth),
-		buckets: make([]*rng.PolyHash, depth),
-		signs:   make([]*rng.PolyHash, depth),
+		buckets: make([]rng.Hash2, depth),
+		signs:   make([]rng.Hash4, depth),
+		rr:      rng.NewRange(uint64(width)),
 	}
 	for i := 0; i < depth; i++ {
-		cs.buckets[i] = rng.NewPolyHash(2, r)
-		cs.signs[i] = rng.NewPolyHash(4, r)
+		cs.buckets[i] = rng.NewHash2(r)
+		cs.signs[i] = rng.NewHash4(r)
 	}
 	return cs
 }
@@ -44,9 +46,11 @@ func NewCountSketch(width, depth int, r *rng.Xoshiro256) *CountSketch {
 // Add records count occurrences of item (count may model weighted
 // updates; negative counts implement deletions in the turnstile model).
 func (cs *CountSketch) Add(it stream.Item, count int64) {
+	x := rng.Mod61(uint64(it))
 	for row := 0; row < cs.depth; row++ {
-		col := cs.buckets[row].Bucket(uint64(it), cs.width)
-		cs.table[row*cs.width+col] += int64(cs.signs[row].Sign(uint64(it))) * count
+		col := cs.rr.Bucket(cs.buckets[row].Eval(x))
+		sign := int64(cs.signs[row].Eval(x)&1)*2 - 1
+		cs.table[uint64(row*cs.width)+col] += sign * count
 	}
 	if count > 0 {
 		cs.n += uint64(count)
@@ -58,17 +62,33 @@ func (cs *CountSketch) Observe(it stream.Item) { cs.Add(it, 1) }
 
 // Estimate returns the median-of-rows point estimate of item's count.
 func (cs *CountSketch) Estimate(it stream.Item) int64 {
-	ests := make([]int64, cs.depth)
+	var buf [16]int64
+	ests := buf[:0]
+	if cs.depth > len(buf) {
+		ests = make([]int64, 0, cs.depth)
+	}
+	x := rng.Mod61(uint64(it))
 	for row := 0; row < cs.depth; row++ {
-		col := cs.buckets[row].Bucket(uint64(it), cs.width)
-		ests[row] = int64(cs.signs[row].Sign(uint64(it))) * cs.table[row*cs.width+col]
+		col := cs.rr.Bucket(cs.buckets[row].Eval(x))
+		sign := int64(cs.signs[row].Eval(x)&1)*2 - 1
+		ests = append(ests, sign*cs.table[uint64(row*cs.width)+col])
 	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
-	mid := cs.depth / 2
-	if cs.depth%2 == 1 {
-		return ests[mid]
+	return medianInt64(ests)
+}
+
+// medianInt64 sorts vals in place (insertion sort: the slice is one
+// sketch depth long and usually stack-backed) and returns the median.
+func medianInt64(vals []int64) int64 {
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
 	}
-	return (ests[mid-1] + ests[mid]) / 2
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
 }
 
 // F2Estimate returns the median over rows of the row's sum of squared
@@ -104,5 +124,5 @@ func (cs *CountSketch) Depth() int { return cs.depth }
 
 // SpaceBytes returns the approximate memory footprint.
 func (cs *CountSketch) SpaceBytes() int {
-	return 8*len(cs.table) + 48*cs.depth
+	return 8*len(cs.table) + 48*cs.depth + 24
 }

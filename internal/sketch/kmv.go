@@ -16,7 +16,7 @@ import (
 // exceeds comfortably.
 type KMV struct {
 	k    int
-	h    *rng.PolyHash
+	h    rng.Hash2
 	heap hashMaxHeap         // k smallest hash values, max at root
 	seen map[uint64]struct{} // hash values currently in the heap
 }
@@ -37,7 +37,7 @@ func NewKMV(k int, r *rng.Xoshiro256) *KMV {
 	}
 	return &KMV{
 		k:    k,
-		h:    rng.NewPolyHash(2, r),
+		h:    rng.NewHash2(r),
 		seen: make(map[uint64]struct{}, k),
 	}
 }

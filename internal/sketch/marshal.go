@@ -36,8 +36,13 @@ const (
 
 // WireVersion is the single version byte every payload carries after its
 // tag. Decoders reject any other value, so incompatible format changes
-// must bump it.
-const WireVersion byte = 1
+// must bump it. Version 2 marks the switch of CountMin/CountSketch
+// bucket mapping from `hash mod width` to the divide-free fastrange
+// reduction: the byte layout is unchanged, but version-1 tables placed
+// counts at different columns, so merging across the boundary would
+// silently corrupt estimates — the bump makes old payloads fail loudly
+// instead.
+const WireVersion byte = 2
 
 // MaxWireElems bounds every element count read from the wire, keeping
 // corrupt input from provoking huge allocations.
@@ -78,7 +83,29 @@ func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
 
 // Hash appends a polynomial hash function as its coefficient vector.
 func (w *Writer) Hash(h *rng.PolyHash) {
-	coef := h.Coefficients()
+	w.coefficients(h.Coefficients())
+}
+
+// Hash2 appends a flat degree-1 kernel in the same coefficient-vector
+// wire form as Hash, so the flattened sketches stay byte-compatible with
+// payloads written by the boxed representation.
+func (w *Writer) Hash2(h rng.Hash2) {
+	w.U32(2)
+	w.U64(h.B)
+	w.U64(h.A)
+}
+
+// Hash4 appends a flat degree-3 kernel in the Hash coefficient-vector
+// wire form.
+func (w *Writer) Hash4(h rng.Hash4) {
+	w.U32(4)
+	w.U64(h.C0)
+	w.U64(h.C1)
+	w.U64(h.C2)
+	w.U64(h.C3)
+}
+
+func (w *Writer) coefficients(coef []uint64) {
 	w.U32(uint32(len(coef)))
 	for _, c := range coef {
 		w.U64(c)
@@ -186,6 +213,41 @@ func (r *Reader) Hash() *rng.PolyHash {
 	return rng.NewPolyHashFromCoefficients(coef)
 }
 
+// Hash2 reads a flat degree-1 kernel: a Hash coefficient vector that must
+// carry exactly two in-field coefficients (every encoder of these sites
+// has only ever written two).
+func (r *Reader) Hash2() rng.Hash2 {
+	if n := r.U32(); r.err != nil || n != 2 {
+		r.Fail()
+		return rng.Hash2{}
+	}
+	b := r.U64()
+	a := r.U64()
+	if r.err != nil || a >= uint64(1)<<61-1 || b >= uint64(1)<<61-1 {
+		r.Fail()
+		return rng.Hash2{}
+	}
+	return rng.Hash2{A: a, B: b}
+}
+
+// Hash4 reads a flat degree-3 kernel: a Hash coefficient vector that must
+// carry exactly four in-field coefficients.
+func (r *Reader) Hash4() rng.Hash4 {
+	if n := r.U32(); r.err != nil || n != 4 {
+		r.Fail()
+		return rng.Hash4{}
+	}
+	var coef [4]uint64
+	for i := range coef {
+		coef[i] = r.U64()
+		if r.err != nil || coef[i] >= uint64(1)<<61-1 {
+			r.Fail()
+			return rng.Hash4{}
+		}
+	}
+	return rng.Hash4{C0: coef[0], C1: coef[1], C2: coef[2], C3: coef[3]}
+}
+
 // Nested reads a length-prefixed sub-payload, returning a sub-slice of
 // the input (no copy).
 func (r *Reader) Nested() []byte {
@@ -245,8 +307,8 @@ func (cm *CountMin) MarshalBinary() ([]byte, error) {
 	w.U32(uint32(cm.width))
 	w.U32(uint32(cm.depth))
 	w.U64(cm.n)
-	for _, h := range cm.hashes {
-		w.Hash(h)
+	for _, h := range cm.rows {
+		w.Hash2(h)
 	}
 	for _, c := range cm.table {
 		w.U64(c)
@@ -269,9 +331,10 @@ func UnmarshalCountMin(data []byte) (*CountMin, error) {
 		return nil, r.err
 	}
 	cm := &CountMin{width: width, depth: depth, n: n,
-		table: make([]uint64, width*depth), hashes: make([]*rng.PolyHash, depth)}
-	for i := range cm.hashes {
-		cm.hashes[i] = r.Hash()
+		table: make([]uint64, width*depth), rows: make([]rng.Hash2, depth),
+		rr: rng.NewRange(uint64(width))}
+	for i := range cm.rows {
+		cm.rows[i] = r.Hash2()
 	}
 	for i := range cm.table {
 		cm.table[i] = r.U64()
@@ -290,10 +353,10 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 	w.U32(uint32(cs.depth))
 	w.U64(cs.n)
 	for _, h := range cs.buckets {
-		w.Hash(h)
+		w.Hash2(h)
 	}
 	for _, h := range cs.signs {
-		w.Hash(h)
+		w.Hash4(h)
 	}
 	for _, c := range cs.table {
 		w.I64(c)
@@ -318,13 +381,14 @@ func UnmarshalCountSketch(data []byte) (*CountSketch, error) {
 	}
 	cs := &CountSketch{width: width, depth: depth, n: n,
 		table:   make([]int64, width*depth),
-		buckets: make([]*rng.PolyHash, depth),
-		signs:   make([]*rng.PolyHash, depth)}
+		buckets: make([]rng.Hash2, depth),
+		signs:   make([]rng.Hash4, depth),
+		rr:      rng.NewRange(uint64(width))}
 	for i := range cs.buckets {
-		cs.buckets[i] = r.Hash()
+		cs.buckets[i] = r.Hash2()
 	}
 	for i := range cs.signs {
-		cs.signs[i] = r.Hash()
+		cs.signs[i] = r.Hash4()
 	}
 	for i := range cs.table {
 		cs.table[i] = r.I64()
@@ -340,7 +404,7 @@ func (s *KMV) MarshalBinary() ([]byte, error) {
 	w := &Writer{}
 	w.Header(TagKMV)
 	w.U32(uint32(s.k))
-	w.Hash(s.h)
+	w.Hash2(s.h)
 	w.U32(uint32(s.heap.Len()))
 	for _, hv := range s.heap {
 		w.U64(hv)
@@ -356,7 +420,7 @@ func UnmarshalKMV(data []byte) (*KMV, error) {
 	if r.err == nil && (k < 2 || k > maxDim) {
 		r.Fail()
 	}
-	h := r.Hash()
+	h := r.Hash2()
 	count := r.Count(k, 8)
 	if r.err != nil {
 		return nil, r.err

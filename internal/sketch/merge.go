@@ -35,7 +35,7 @@ func (cm *CountMin) Merge(other *CountMin) error {
 	}
 	for row := 0; row < cm.depth; row++ {
 		for _, probe := range probeKeys {
-			if cm.hashes[row].Bucket(probe, cm.width) != other.hashes[row].Bucket(probe, other.width) {
+			if cm.rr.Bucket(cm.rows[row].Hash(probe)) != other.rr.Bucket(other.rows[row].Hash(probe)) {
 				return fmt.Errorf("%w: CountMin hash functions differ (row %d)", ErrIncompatible, row)
 			}
 		}
@@ -56,7 +56,7 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 	}
 	for row := 0; row < cs.depth; row++ {
 		for _, probe := range probeKeys {
-			if cs.buckets[row].Bucket(probe, cs.width) != other.buckets[row].Bucket(probe, other.width) ||
+			if cs.rr.Bucket(cs.buckets[row].Hash(probe)) != other.rr.Bucket(other.buckets[row].Hash(probe)) ||
 				cs.signs[row].Sign(probe) != other.signs[row].Sign(probe) {
 				return fmt.Errorf("%w: CountSketch hash functions differ (row %d)", ErrIncompatible, row)
 			}

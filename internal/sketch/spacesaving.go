@@ -58,7 +58,9 @@ func (ss *SpaceSaving) Observe(it stream.Item) {
 	ss.down(0)
 }
 
-func (ss *SpaceSaving) up(i int) {
+// up restores the heap invariant toward the root from i and returns the
+// entry's final position (see down).
+func (ss *SpaceSaving) up(i int) int {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if ss.h[parent].count <= ss.h[i].count {
@@ -67,9 +69,13 @@ func (ss *SpaceSaving) up(i int) {
 		ss.swap(i, parent)
 		i = parent
 	}
+	return i
 }
 
-func (ss *SpaceSaving) down(i int) {
+// down restores the heap invariant from i and returns the entry's final
+// position, so batched runs of one item can sift repeatedly without
+// re-querying the index map.
+func (ss *SpaceSaving) down(i int) int {
 	n := len(ss.h)
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -81,7 +87,7 @@ func (ss *SpaceSaving) down(i int) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			return i
 		}
 		ss.swap(i, smallest)
 		i = smallest

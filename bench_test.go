@@ -384,19 +384,21 @@ func BenchmarkWindowMarshalF0(b *testing.B) {
 	b.ReportMetric(float64(len(payload)), "bytes/summary")
 }
 
-func BenchmarkMarshalFk(b *testing.B)      { benchmarkMarshal(b, "fk") }
-func BenchmarkMarshalF0(b *testing.B)      { benchmarkMarshal(b, "f0") }
-func BenchmarkMarshalEntropy(b *testing.B) { benchmarkMarshal(b, "entropy") }
-func BenchmarkMarshalHH1(b *testing.B)     { benchmarkMarshal(b, "hh1") }
-func BenchmarkMarshalHH2(b *testing.B)     { benchmarkMarshal(b, "hh2") }
-func BenchmarkMarshalMonitor(b *testing.B) { benchmarkMarshal(b, "all") }
+func BenchmarkMarshalFk(b *testing.B)       { benchmarkMarshal(b, "fk") }
+func BenchmarkMarshalF0(b *testing.B)       { benchmarkMarshal(b, "f0") }
+func BenchmarkMarshalEntropy(b *testing.B)  { benchmarkMarshal(b, "entropy") }
+func BenchmarkMarshalHH1(b *testing.B)      { benchmarkMarshal(b, "hh1") }
+func BenchmarkMarshalHH2(b *testing.B)      { benchmarkMarshal(b, "hh2") }
+func BenchmarkMarshalMonitor(b *testing.B)  { benchmarkMarshal(b, "all") }
+func BenchmarkMarshalQuantile(b *testing.B) { benchmarkMarshal(b, "quantile") }
 
-func BenchmarkDecodeFk(b *testing.B)      { benchmarkDecode(b, "fk") }
-func BenchmarkDecodeF0(b *testing.B)      { benchmarkDecode(b, "f0") }
-func BenchmarkDecodeEntropy(b *testing.B) { benchmarkDecode(b, "entropy") }
-func BenchmarkDecodeHH1(b *testing.B)     { benchmarkDecode(b, "hh1") }
-func BenchmarkDecodeHH2(b *testing.B)     { benchmarkDecode(b, "hh2") }
-func BenchmarkDecodeMonitor(b *testing.B) { benchmarkDecode(b, "all") }
+func BenchmarkDecodeFk(b *testing.B)       { benchmarkDecode(b, "fk") }
+func BenchmarkDecodeF0(b *testing.B)       { benchmarkDecode(b, "f0") }
+func BenchmarkDecodeEntropy(b *testing.B)  { benchmarkDecode(b, "entropy") }
+func BenchmarkDecodeHH1(b *testing.B)      { benchmarkDecode(b, "hh1") }
+func BenchmarkDecodeHH2(b *testing.B)      { benchmarkDecode(b, "hh2") }
+func BenchmarkDecodeMonitor(b *testing.B)  { benchmarkDecode(b, "all") }
+func BenchmarkDecodeQuantile(b *testing.B) { benchmarkDecode(b, "quantile") }
 
 // --- network monitoring daemon (internal/server) ---
 

@@ -19,6 +19,7 @@ import (
 
 	"substream/internal/estimator"
 	"substream/internal/experiments"
+	_ "substream/internal/quantile"
 )
 
 func main() {

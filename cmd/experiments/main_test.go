@@ -24,17 +24,27 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "countmin", "MODE"} {
+	for _, want := range []string{"fk", "0x20", "countmin", "MODE", "quantile", "0x40"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
 		}
 	}
+	quantileRow := false
 	for _, line := range strings.Split(got, "\n") {
 		if strings.HasPrefix(line, "topk") {
 			if !strings.Contains(line, "decode-only") {
 				t.Fatalf("decode-only kind unmarked: %q", line)
 			}
 		}
+		if strings.HasPrefix(line, "quantile") {
+			quantileRow = true
+			if !strings.Contains(line, "stat") || strings.Contains(line, "decode-only") {
+				t.Fatalf("quantile row not marked as a stat kind: %q", line)
+			}
+		}
+	}
+	if !quantileRow {
+		t.Fatal("no quantile row in -list-estimators output")
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"substream/internal/core"
 	"substream/internal/estimator"
 	"substream/internal/pipeline"
+	_ "substream/internal/quantile"
 	"substream/internal/rng"
 	"substream/internal/stream"
 	"substream/internal/window"

@@ -209,18 +209,29 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin", "window", "0x30"} {
+	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin", "window", "0x30", "quantile", "0x40"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
 		}
 	}
 	// Decode-only kinds are marked so operators know they cannot back a
-	// -stat flag or stream config.
+	// -stat flag or stream config; quantile is constructible and must
+	// carry the stat MODE.
+	quantileRow := false
 	for _, line := range strings.Split(got, "\n") {
 		if strings.HasPrefix(line, "topk") || strings.HasPrefix(line, "window") {
 			if !strings.Contains(line, "decode-only") {
 				t.Fatalf("decode-only kind unmarked: %q", line)
 			}
 		}
+		if strings.HasPrefix(line, "quantile") {
+			quantileRow = true
+			if !strings.Contains(line, "stat") || strings.Contains(line, "decode-only") {
+				t.Fatalf("quantile row not marked as a stat kind: %q", line)
+			}
+		}
+	}
+	if !quantileRow {
+		t.Fatal("no quantile row in -list-estimators output")
 	}
 }

@@ -262,16 +262,27 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "f0", "all", "countsketch", "iw", "window", "0x30"} {
+	for _, want := range []string{"fk", "0x20", "f0", "all", "countsketch", "iw", "window", "0x30", "quantile", "0x40"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
 		}
 	}
+	quantileRow := false
 	for _, line := range strings.Split(got, "\n") {
 		if strings.HasPrefix(line, "topk") || strings.HasPrefix(line, "window") {
 			if !strings.Contains(line, "decode-only") {
 				t.Fatalf("decode-only kind unmarked: %q", line)
 			}
 		}
+		// Quantile streams are declarable (stat MODE), unlike the wrapper.
+		if strings.HasPrefix(line, "quantile") {
+			quantileRow = true
+			if !strings.Contains(line, "stat") || strings.Contains(line, "decode-only") {
+				t.Fatalf("quantile row not marked as a stat kind: %q", line)
+			}
+		}
+	}
+	if !quantileRow {
+		t.Fatal("no quantile row in -list-estimators output")
 	}
 }

@@ -8,6 +8,11 @@ import (
 	"substream/internal/estimator"
 	"substream/internal/stream"
 	"substream/internal/workload"
+
+	// Register every standard kind, including the quantile summary, so
+	// the registry-driven suites below cover them all.
+	_ "substream/internal/core"
+	_ "substream/internal/quantile"
 )
 
 // This file pins the library-wide batching contract: for EVERY

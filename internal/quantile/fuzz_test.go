@@ -1,0 +1,68 @@
+package quantile
+
+import (
+	"testing"
+)
+
+// FuzzQuantileDecode is the package-level half of the decode no-panic
+// contract (the registry-level half rides FuzzEstimatorDecode in
+// internal/sketch): arbitrary bytes must either fail cleanly or produce
+// a fully usable, re-serializable summary. The CKMS structural
+// validation in Unmarshal — ascending values, positive widths, Σg == n —
+// is what keeps a corrupt network payload from poisoning a collector
+// fold.
+func FuzzQuantileDecode(f *testing.F) {
+	for _, n := range []int{0, 1, 511, 3_000} {
+		payload, _ := marshaled(f, n, uint64(n)+89)
+		f.Add(payload)
+	}
+	// A merged summary has weighted samples with nonzero Δ everywhere —
+	// a different shape from any sequential payload.
+	a := NewTargeted(DefaultTargets())
+	b := NewTargeted(DefaultTargets())
+	for i, v := range paretoValues(4_000, 97) {
+		if i%2 == 0 {
+			a.Insert(v)
+		} else {
+			b.Insert(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		f.Fatal(err)
+	}
+	payload, err := a.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload)
+	f.Add([]byte{})
+	f.Add([]byte{TagQuantile})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must hold the full contract.
+		n := e.N()
+		e.Insert(1)
+		e.Insert(2.5)
+		if e.N() != n+2 {
+			t.Fatalf("N did not advance: %d then %d", n, e.N())
+		}
+		for _, tg := range e.Targets() {
+			_ = e.Query(tg.Quantile)
+		}
+		if e.SpaceBytes() < 0 {
+			t.Fatal("negative space estimate")
+		}
+		again, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of a decoded summary failed: %v", err)
+		}
+		if _, err := Unmarshal(again); err != nil {
+			t.Fatalf("re-decode of a re-marshal failed: %v", err)
+		}
+	})
+}

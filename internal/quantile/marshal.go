@@ -1,0 +1,98 @@
+package quantile
+
+import (
+	"math"
+
+	"substream/internal/sketch"
+)
+
+// Wire format (tag 0x40, sketch.WireVersion, little-endian):
+//
+//	u32 target count T, then T × (f64 φ, f64 ε), ascending φ
+//	u64 n (observed count)
+//	u32 sample count S, then S × (f64 value, u64 g, u64 Δ), ascending value
+//
+// The buffer is flushed before serializing, so a payload is always the
+// compressed state and Σg == n exactly. Decoding validates the CKMS
+// structural invariants — ascending finite values, positive widths, Δ
+// and Σg consistent with n — so a corrupt payload fails here instead of
+// poisoning a collector's fold.
+
+// MarshalBinary serializes the summary. Buffered values are flushed
+// first, so equal logical states serialize identically.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	e.flush()
+	w := &sketch.Writer{}
+	w.Header(TagQuantile)
+	w.U32(uint32(len(e.targets)))
+	for _, t := range e.targets {
+		w.F64(t.Quantile)
+		w.F64(t.Epsilon)
+	}
+	w.U64(e.n)
+	w.U32(uint32(len(e.samples)))
+	for _, s := range e.samples {
+		w.F64(s.v)
+		w.U64(s.g)
+		w.U64(s.delta)
+	}
+	return w.Bytes(), nil
+}
+
+// Unmarshal reconstructs an Estimator from MarshalBinary output.
+func Unmarshal(data []byte) (*Estimator, error) {
+	r := sketch.NewReader(data)
+	r.Header(TagQuantile)
+	tc := r.Count(MaxTargets, 16)
+	if r.Err() == nil && tc < 1 {
+		r.Fail()
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	targets := make([]Target, tc)
+	for i := range targets {
+		targets[i] = Target{Quantile: r.F64(), Epsilon: r.F64()}
+	}
+	if r.Err() == nil && validTargets(targets) != nil {
+		r.Failf("quantile: corrupt target set")
+	}
+	n := r.U64()
+	sc := r.Count(sketch.MaxWireElems, 24)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	e := &Estimator{
+		targets: targets,
+		samples: make([]sample, sc),
+		n:       n,
+		buf:     make([]float64, 0, bufferCap),
+	}
+	var sum uint64
+	prev := math.Inf(-1)
+	for i := range e.samples {
+		s := sample{v: r.F64(), g: r.U64(), delta: r.U64()}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		// Structural invariants: finite ascending values, width ≥ 1, and
+		// no rank range wider than the stream (a loose cap on Δ; the CKMS
+		// invariant itself is tighter but depends on float rounding, so
+		// exact re-validation would reject honest payloads).
+		if math.IsNaN(s.v) || math.IsInf(s.v, 0) || s.v < prev || s.g < 1 || s.g > n || s.delta > n {
+			r.Fail()
+			return nil, r.Err()
+		}
+		prev = s.v
+		sum += s.g
+		e.samples[i] = s
+	}
+	if sum != n {
+		r.Failf("quantile: sample widths sum to %d, payload claims n=%d", sum, n)
+		return nil, r.Err()
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,411 @@
+package quantile
+
+import (
+	"sort"
+	"testing"
+
+	"substream/internal/rng"
+	"substream/internal/stream"
+	"substream/internal/workload"
+)
+
+// The battery in this file pins the CKMS error contract itself, on the
+// raw float64 summary: sequential queries within ε·n ranks at every
+// target, merged queries within 2ε·n for any shard count and split
+// geometry, and sublinear space. Registry-level coverage (stream.Item
+// adapters, wire round-trips through estimator.Decode, batch-split
+// bit-equivalence) lives in registry_test.go and the shared suites in
+// internal/estimator and internal/sketch.
+
+// paretoValues is a deterministic heavy-tailed value stream — the shape
+// where tail quantiles are the signal and uniform-ε summaries waste
+// space.
+func paretoValues(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Pareto(r, 1, 1.3)
+	}
+	return out
+}
+
+// zipfValues reuses the item-stream generator as a value stream: a
+// small discrete universe with massive ties, the other extreme from
+// Pareto's all-distinct values.
+func zipfValues(n int, seed uint64) []float64 {
+	items := stream.Collect(workload.Zipf(n, 2048, 1.2, seed).Stream)
+	out := make([]float64, len(items))
+	for i, it := range items {
+		out[i] = float64(it)
+	}
+	return out
+}
+
+// orderings returns the same multiset under adversarial arrival orders.
+// Sorted arrivals are the classic CKMS stressors: ascending lets
+// compress collapse everything, descending forces every insert through
+// the interior Δ allowance.
+func orderings(vals []float64) map[string][]float64 {
+	asc := append([]float64(nil), vals...)
+	sort.Float64s(asc)
+	desc := make([]float64, len(asc))
+	for i, v := range asc {
+		desc[len(desc)-1-i] = v
+	}
+	return map[string][]float64{
+		"arrival":    vals,
+		"ascending":  asc,
+		"descending": desc,
+	}
+}
+
+// rankError measures how far got is from the φ·n rank in the reference
+// multiset, in ranks: 0 when got's tie range covers the target rank.
+func rankError(sorted []float64, got float64, targetRank float64) float64 {
+	n := len(sorted)
+	lo := sort.SearchFloat64s(sorted, got)
+	hi := sort.Search(n, func(i int) bool { return sorted[i] > got })
+	switch {
+	case float64(hi) < targetRank:
+		return targetRank - float64(hi)
+	case float64(lo) > targetRank:
+		return float64(lo) - targetRank
+	}
+	return 0
+}
+
+func sortedRef(vals []float64) []float64 {
+	out := append([]float64(nil), vals...)
+	sort.Float64s(out)
+	return out
+}
+
+// TestQueryWithinTargets pins the sequential contract: after one pass
+// over the stream, every configured target answers within ε·n ranks —
+// on heavy-tailed and tie-heavy data, under adversarial arrival orders.
+func TestQueryWithinTargets(t *testing.T) {
+	const n = 100_000
+	for name, base := range map[string][]float64{
+		"pareto": paretoValues(n, 7),
+		"zipf":   zipfValues(n, 11),
+	} {
+		sorted := sortedRef(base)
+		for order, vals := range orderings(base) {
+			e := NewTargeted(DefaultTargets())
+			for _, v := range vals {
+				e.Insert(v)
+			}
+			for _, tg := range DefaultTargets() {
+				err := rankError(sorted, e.Query(tg.Quantile), tg.Quantile*float64(n))
+				if bound := tg.Epsilon * float64(n); err > bound {
+					t.Errorf("%s/%s φ=%v: rank error %.0f > ε·n = %.0f",
+						name, order, tg.Quantile, err, bound)
+				}
+			}
+		}
+	}
+}
+
+// splitRoundRobin, splitContiguous, and splitSeeded are the three shard
+// geometries the merge battery sweeps: interleaved (every shard sees the
+// whole distribution), contiguous (sorted input gives shards disjoint
+// value ranges — the worst case for merge), and random assignment.
+func splitRoundRobin(vals []float64, shards int) [][]float64 {
+	out := make([][]float64, shards)
+	for i, v := range vals {
+		out[i%shards] = append(out[i%shards], v)
+	}
+	return out
+}
+
+func splitContiguous(vals []float64, shards int) [][]float64 {
+	out := make([][]float64, shards)
+	per := len(vals) / shards
+	for s := 0; s < shards; s++ {
+		end := (s + 1) * per
+		if s == shards-1 {
+			end = len(vals)
+		}
+		out[s] = vals[s*per : end]
+	}
+	return out
+}
+
+func splitSeeded(vals []float64, shards int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	out := make([][]float64, shards)
+	for _, v := range vals {
+		s := int(r.Uint64() % uint64(shards))
+		out[s] = append(out[s], v)
+	}
+	return out
+}
+
+// TestMergeWithinTwiceEpsilon is the merge half of the contract: folding
+// 1..8 identically-targeted shards — whatever the shard geometry —
+// answers every target within 2ε·n ranks of the full stream. Merge
+// state is NOT bit-identical to sequential state, so this battery
+// asserts ranks, never bytes.
+func TestMergeWithinTwiceEpsilon(t *testing.T) {
+	const n = 100_000
+	for name, base := range map[string][]float64{
+		"pareto": paretoValues(n, 13),
+		"zipf":   zipfValues(n, 17),
+		// Ascending + contiguous split = shards with disjoint ranges.
+		"sorted-pareto": sortedRef(paretoValues(n, 13)),
+	} {
+		sorted := sortedRef(base)
+		for shards := 1; shards <= 8; shards++ {
+			for geom, split := range map[string][][]float64{
+				"roundrobin": splitRoundRobin(base, shards),
+				"contiguous": splitContiguous(base, shards),
+				"seeded":     splitSeeded(base, shards, uint64(shards)*31),
+			} {
+				acc := NewTargeted(DefaultTargets())
+				for _, shard := range split {
+					se := NewTargeted(DefaultTargets())
+					for _, v := range shard {
+						se.Insert(v)
+					}
+					if err := acc.Merge(se); err != nil {
+						t.Fatalf("%s/%d/%s: merge: %v", name, shards, geom, err)
+					}
+				}
+				if acc.N() != uint64(n) {
+					t.Fatalf("%s/%d/%s: merged N = %d, want %d", name, shards, geom, acc.N(), n)
+				}
+				for _, tg := range DefaultTargets() {
+					err := rankError(sorted, acc.Query(tg.Quantile), tg.Quantile*float64(n))
+					if bound := 2 * tg.Epsilon * float64(n); err > bound {
+						t.Errorf("%s shards=%d %s φ=%v: rank error %.0f > 2ε·n = %.0f",
+							name, shards, geom, tg.Quantile, err, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeIntoEmptyAndFromEmpty covers the fold edges a collector hits
+// constantly: the first shard folds into a fresh accumulator, and idle
+// agents contribute empty summaries.
+func TestMergeIntoEmptyAndFromEmpty(t *testing.T) {
+	vals := paretoValues(10_000, 3)
+	sorted := sortedRef(vals)
+
+	full := NewTargeted(DefaultTargets())
+	for _, v := range vals {
+		full.Insert(v)
+	}
+
+	acc := NewTargeted(DefaultTargets())
+	if err := acc.Merge(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Merge(NewTargeted(DefaultTargets())); err != nil {
+		t.Fatal(err)
+	}
+	if acc.N() != uint64(len(vals)) {
+		t.Fatalf("N = %d after folding empty, want %d", acc.N(), len(vals))
+	}
+	for _, tg := range DefaultTargets() {
+		err := rankError(sorted, acc.Query(tg.Quantile), tg.Quantile*float64(len(vals)))
+		if bound := 2 * tg.Epsilon * float64(len(vals)); err > bound {
+			t.Errorf("φ=%v: rank error %.0f > %.0f", tg.Quantile, err, bound)
+		}
+	}
+}
+
+// TestMergeDoesNotMutateOther pins that a fold reads the donor without
+// changing it — the collector folds each agent's summary into several
+// windows, so a mutating merge would corrupt the second fold.
+func TestMergeDoesNotMutateOther(t *testing.T) {
+	donor := NewTargeted(DefaultTargets())
+	for _, v := range paretoValues(5_000, 5) {
+		donor.Insert(v)
+	}
+	// 5000 is not a multiple of bufferCap, so the donor has unflushed
+	// buffered values: merged() must fold them in without flushing — a
+	// collector folds one agent summary into several windows.
+	if len(donor.buf) == 0 {
+		t.Fatal("test setup: donor buffer unexpectedly empty")
+	}
+	beforeSamples := append([]sample(nil), donor.samples...)
+	beforeBuf := append([]float64(nil), donor.buf...)
+	beforeN := donor.n
+	acc := NewTargeted(DefaultTargets())
+	if err := acc.Merge(donor); err != nil {
+		t.Fatal(err)
+	}
+	if donor.n != beforeN || len(donor.samples) != len(beforeSamples) || len(donor.buf) != len(beforeBuf) {
+		t.Fatal("Merge mutated the donor summary")
+	}
+	for i, s := range beforeSamples {
+		if donor.samples[i] != s {
+			t.Fatal("Merge mutated the donor sample list")
+		}
+	}
+	for i, v := range beforeBuf {
+		if donor.buf[i] != v {
+			t.Fatal("Merge mutated the donor buffer")
+		}
+	}
+	if acc.N() != donor.N() {
+		t.Fatalf("accumulator N = %d, donor N = %d", acc.N(), donor.N())
+	}
+}
+
+// TestMergeRejectsForeignTargets: identical target sets are this kind's
+// merge-compatibility key; anything else must error without touching
+// state.
+func TestMergeRejectsForeignTargets(t *testing.T) {
+	e := NewTargeted(DefaultTargets())
+	e.Insert(1)
+	cases := [][]Target{
+		{{Quantile: 0.5, Epsilon: 0.01}},                              // fewer targets
+		{{0.50, 0.01}, {0.90, 0.001}, {0.99, 0.001}, {0.999, 0.0001}}, // one ε differs
+		{{0.50, 0.01}, {0.90, 0.001}, {0.99, 0.001}, {0.9999, 0.001}}, // one φ differs
+	}
+	for i, targets := range cases {
+		other := NewTargeted(targets)
+		other.Insert(2)
+		if err := e.Merge(other); err == nil {
+			t.Errorf("case %d: merge of foreign target set succeeded", i)
+		}
+	}
+	if e.N() != 1 {
+		t.Fatalf("failed merge changed state: N = %d", e.N())
+	}
+}
+
+// TestSpaceSublinear is the acceptance-criteria space bound: on a
+// million-item skewed stream the summary must stay orders of magnitude
+// below the item count — this is the whole point of CKMS over
+// internal/stats.Summary's sorted raw sample.
+func TestSpaceSublinear(t *testing.T) {
+	const n = 1_000_000
+	e := NewTargeted(DefaultTargets())
+	for _, v := range paretoValues(n, 29) {
+		e.Insert(v)
+	}
+	if e.N() != n {
+		t.Fatalf("N = %d, want %d", e.N(), n)
+	}
+	if got := e.SampleCount(); got > 4096 {
+		t.Fatalf("1M-item stream retained %d samples — compress is not holding", got)
+	}
+	// 24 bytes a sample, 8 a buffered value: raw storage would be 8 MB.
+	if got := e.SpaceBytes(); got > 128<<10 {
+		t.Fatalf("SpaceBytes = %d, want ≤ %d (sublinear in the stream)", got, 128<<10)
+	}
+	t.Logf("n=%d samples=%d space=%dB", n, e.SampleCount(), e.SpaceBytes())
+}
+
+// TestSmallStreams pins the degenerate shapes: empty (Query 0 by
+// documented convention), single value, and all-ties answer exactly.
+func TestSmallStreams(t *testing.T) {
+	e := NewTargeted(DefaultTargets())
+	if got := e.Query(0.5); got != 0 {
+		t.Fatalf("empty Query = %v, want 0", got)
+	}
+	if e.N() != 0 {
+		t.Fatalf("empty N = %d", e.N())
+	}
+
+	e.Insert(42)
+	for _, tg := range DefaultTargets() {
+		if got := e.Query(tg.Quantile); got != 42 {
+			t.Fatalf("single-value Query(%v) = %v, want 42", tg.Quantile, got)
+		}
+	}
+
+	ties := NewTargeted(DefaultTargets())
+	for i := 0; i < 10_000; i++ {
+		ties.Insert(7)
+	}
+	for _, tg := range DefaultTargets() {
+		if got := ties.Query(tg.Quantile); got != 7 {
+			t.Fatalf("all-ties Query(%v) = %v, want 7", tg.Quantile, got)
+		}
+	}
+	// CKMS does not dedupe equal values — each sample's width is capped
+	// by the invariant — so an all-ties stream retains Θ(1/ε) samples,
+	// not O(1). Still far below n.
+	if ties.SampleCount() > 1024 {
+		t.Fatalf("all-ties stream retained %d samples", ties.SampleCount())
+	}
+}
+
+// TestMinMaxExact: compress never removes the terminal samples, so the
+// observed extremes answer exactly at φ→0 and φ→1 regardless of
+// targets.
+func TestMinMaxExact(t *testing.T) {
+	vals := paretoValues(50_000, 41)
+	e := NewTargeted(DefaultTargets())
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		e.Insert(v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if got := e.Query(0.0001); got != lo {
+		t.Fatalf("Query(→0) = %v, want observed min %v", got, lo)
+	}
+	if got := e.Query(0.99999); got != hi {
+		t.Fatalf("Query(→1) = %v, want observed max %v", got, hi)
+	}
+}
+
+// TestNewTargetedValidation pins the constructor contract shared with
+// the other estimators: malformed configuration panics at build time,
+// never degrades silently at query time.
+func TestNewTargetedValidation(t *testing.T) {
+	bad := map[string][]Target{
+		"empty":         {},
+		"zero-quantile": {{Quantile: 0, Epsilon: 0.01}},
+		"one-quantile":  {{Quantile: 1, Epsilon: 0.01}},
+		"zero-epsilon":  {{Quantile: 0.5, Epsilon: 0}},
+		"unsorted":      {{Quantile: 0.9, Epsilon: 0.01}, {Quantile: 0.5, Epsilon: 0.01}},
+		"duplicate":     {{Quantile: 0.5, Epsilon: 0.01}, {Quantile: 0.5, Epsilon: 0.001}},
+		"too-many":      make([]Target, MaxTargets+1),
+		"nan-quantile":  {{Quantile: nan(), Epsilon: 0.01}},
+		"nan-epsilon":   {{Quantile: 0.5, Epsilon: nan()}},
+	}
+	for name, targets := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewTargeted accepted invalid targets", name)
+				}
+			}()
+			NewTargeted(targets)
+		}()
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestQuantileKey pins the estimate-map naming the server and README
+// document.
+func TestQuantileKey(t *testing.T) {
+	cases := map[float64]string{
+		0.5:   "p50",
+		0.9:   "p90",
+		0.95:  "p95",
+		0.99:  "p99",
+		0.999: "p999",
+		0.25:  "p25",
+	}
+	for phi, want := range cases {
+		if got := QuantileKey(phi); got != want {
+			t.Errorf("QuantileKey(%v) = %q, want %q", phi, got, want)
+		}
+	}
+}

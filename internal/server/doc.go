@@ -43,10 +43,13 @@
 //     spacesaving 0x05, misragries 0x06, topk 0x07), internal/levelset
 //     owns 0x10–0x1f (exactcounter 0x10, levelset 0x11, iw 0x12),
 //     internal/core owns 0x20–0x2f (fk 0x20, f0 0x21, entropy 0x22,
-//     hh1 0x23, hh2 0x24, all 0x25, gee 0x26), and internal/window owns
+//     hh1 0x23, hh2 0x24, all 0x25, gee 0x26), internal/window owns
 //     0x30–0x3f (window 0x30, the epoch-ring wrapper whose payload
 //     nests one pristine, one cumulative, and W generation payloads
-//     from the concrete ranges below it).
+//     from the concrete ranges around it), and internal/quantile owns
+//     0x40–0x4f (quantile 0x40, CKMS targeted streaming quantiles —
+//     a concrete kind, so it nests inside window payloads like the
+//     ranges below 0x30).
 //   - Decoders reject unknown tags, unknown versions, truncated input,
 //     trailing bytes, and any length field larger than the remaining
 //     buffer could hold — corrupt input must fail cleanly, never panic
@@ -73,7 +76,11 @@
 package server
 
 // The daemon speaks whatever the estimator registry holds; linking
-// internal/core (which pulls internal/levelset and internal/sketch) is
-// what populates it with the standard kinds. Embedders adding their own
-// kinds just import the registering package before starting the daemon.
-import _ "substream/internal/core"
+// internal/core (which pulls internal/levelset and internal/sketch) and
+// internal/quantile is what populates it with the standard kinds.
+// Embedders adding their own kinds just import the registering package
+// before starting the daemon.
+import (
+	_ "substream/internal/core"
+	_ "substream/internal/quantile"
+)

@@ -25,6 +25,8 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 		{0x24, "hh2"}, {0x25, "all"}, {0x26, "gee"},
 		// internal/window: 0x30–0x3f
 		{0x30, "window"},
+		// internal/quantile: 0x40–0x4f
+		{0x40, "quantile"},
 	}
 	kinds := estimator.Kinds()
 	if len(kinds) != len(want) {
@@ -46,8 +48,10 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 			lo, hi = 0x10, 0x1f
 		case k.Tag <= 0x2f:
 			lo, hi = 0x20, 0x2f
-		default:
+		case k.Tag <= 0x3f:
 			lo, hi = 0x30, 0x3f
+		default:
+			lo, hi = 0x40, 0x4f
 		}
 		if k.Tag < lo || k.Tag > hi {
 			t.Errorf("kind %q tag %#x escapes its package range [%#x, %#x]", k.Name, k.Tag, lo, hi)

@@ -13,6 +13,7 @@ import (
 	"substream/internal/stream"
 
 	_ "substream/internal/core"
+	_ "substream/internal/quantile"
 )
 
 // registryCorpus builds one well-formed payload per constructible kind,

@@ -59,14 +59,26 @@ func (s *Summary) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation,
-// 0 for an empty summary.
+// Quantile returns the q-quantile by linear interpolation over the
+// sorted measurements. The edges are exact and total: q ≤ 0 (and NaN)
+// returns Min, q ≥ 1 returns Max, an empty summary returns 0, and a
+// single-element summary returns that element for every q.
+//
+// This is an exact, offline helper for experiment trials: it retains
+// every measurement and its state never merges. For quantiles OVER THE
+// OBSERVED STREAM — bounded space, mergeable across shards and agents,
+// wire-serializable — use internal/quantile (the "quantile" registry
+// kind), which answers targeted quantiles within ε·n ranks from a few
+// hundred samples.
 func (s *Summary) Quantile(q float64) float64 {
 	n := len(s.values)
 	if n == 0 {
 		return 0
 	}
-	if q < 0 {
+	// NaN fails both clamp comparisons and would otherwise flow into the
+	// index arithmetic, where int(NaN) is platform-defined — pin it to
+	// the low edge alongside q < 0.
+	if q < 0 || math.IsNaN(q) {
 		q = 0
 	}
 	if q > 1 {

@@ -245,3 +245,52 @@ func TestTableEmpty(t *testing.T) {
 		t.Fatalf("untitled table rendered a title:\n%s", out)
 	}
 }
+
+// TestQuantileEdges is the table-driven regression for the documented
+// edge contract: q ≤ 0 (including NaN) answers Min, q ≥ 1 answers Max,
+// empty summaries answer 0, single-element summaries answer the element
+// for every q — and none of the out-of-range inputs may panic.
+func TestQuantileEdges(t *testing.T) {
+	multi := &Summary{}
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		multi.Add(v)
+	}
+	single := &Summary{}
+	single.Add(42)
+	empty := &Summary{}
+
+	cases := []struct {
+		name string
+		s    *Summary
+		q    float64
+		want float64
+	}{
+		{"empty q=0.5", empty, 0.5, 0},
+		{"empty q=0", empty, 0, 0},
+		{"empty q=1", empty, 1, 0},
+		{"empty NaN", empty, math.NaN(), 0},
+		{"single q=0", single, 0, 42},
+		{"single q=0.5", single, 0.5, 42},
+		{"single q=1", single, 1, 42},
+		{"single below range", single, -3, 42},
+		{"single above range", single, 2, 42},
+		{"single NaN", single, math.NaN(), 42},
+		{"multi q=0 is min", multi, 0, 1},
+		{"multi q=1 is max", multi, 1, 9},
+		{"multi below range clamps to min", multi, -0.1, 1},
+		{"multi above range clamps to max", multi, 1.5, 9},
+		{"multi NaN clamps to min", multi, math.NaN(), 1},
+		{"multi median", multi, 0.5, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+	if got, want := multi.Quantile(0), multi.Min(); got != want {
+		t.Errorf("Quantile(0) = %v, Min() = %v — documented as equal", got, want)
+	}
+	if got, want := multi.Quantile(1), multi.Max(); got != want {
+		t.Errorf("Quantile(1) = %v, Max() = %v — documented as equal", got, want)
+	}
+}

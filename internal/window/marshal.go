@@ -11,21 +11,26 @@ import (
 // owns the range 0x30–0x3f (see internal/server/doc.go).
 const TagWindow byte = 0x30
 
-// innerTagMax bounds the tags a window payload may nest: only the
-// concrete estimator ranges (sketch 0x01–0x0f, levelset 0x10–0x1f, core
-// 0x20–0x2f). The gate runs BEFORE decoding, so a crafted payload cannot
-// nest another window (or any future composite at 0x30+) and recurse the
-// decoder — the same discipline as levelset's collision-counter gate.
-const innerTagMax byte = TagWindow - 1
+// compositeTagMin/Max bound the tags a window payload may NOT nest: its
+// own composite range 0x30–0x3f. Every concrete estimator range (sketch
+// 0x01–0x0f, levelset 0x10–0x1f, core 0x20–0x2f, quantile 0x40–0x4f)
+// rides freely. The gate runs BEFORE decoding, so a crafted payload
+// cannot nest another window (or any future composite in this range) and
+// recurse the decoder — the same discipline as levelset's
+// collision-counter gate.
+const (
+	compositeTagMin byte = TagWindow
+	compositeTagMax byte = TagWindow + 0x0f
+)
 
 // decodeInner revives one nested replica through the registry's single
-// entry point, after gating its tag to the concrete estimator ranges.
+// entry point, after gating its tag out of the composite range.
 func decodeInner(data []byte) (estimator.Estimator, error) {
 	tag, err := sketch.PayloadTag(data)
 	if err != nil {
 		return nil, err
 	}
-	if tag > innerTagMax {
+	if tag >= compositeTagMin && tag <= compositeTagMax {
 		return nil, fmt.Errorf("window: payload tag %#x cannot ride inside a window", tag)
 	}
 	return estimator.Decode(data)

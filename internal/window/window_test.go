@@ -2,6 +2,7 @@ package window_test
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -15,6 +16,7 @@ import (
 
 	// Populate the registry with every standard kind.
 	_ "substream/internal/core"
+	_ "substream/internal/quantile"
 )
 
 // innerSpec returns the construction spec tests build inner replicas
@@ -432,6 +434,74 @@ func TestConfigValidation(t *testing.T) {
 	for name, cfg := range cases {
 		if _, err := window.New(cfg); err == nil {
 			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestWindowedQuantileRidesRing pins the composite-gate boundary from
+// the other side: the quantile tag (0x40) lies OUTSIDE the 0x30–0x3f
+// composite range, so a quantile summary must nest inside window
+// payloads — construct, rotate, survive the wire round-trip — and
+// surface "window_p99"-style keys scoped to the last W epochs.
+func TestWindowedQuantileRidesRing(t *testing.T) {
+	const epochs, perEpoch, W = 6, 4000, 2
+	slices := epochStream(t, epochs, perEpoch)
+	clock := window.NewManualClock()
+	we := build(t, "quantile", W, clock)
+	for ep, items := range slices {
+		clock.Set(uint64(ep))
+		we.UpdateBatch(items)
+	}
+	est := we.Estimates()
+	for _, key := range []string{"n", "p50", "p99", "window_n", "window_p50", "window_p99", "window_p999"} {
+		if _, ok := est[key]; !ok {
+			t.Fatalf("windowed quantile estimates missing %q", key)
+		}
+	}
+	if est["n"] != float64(epochs*perEpoch) {
+		t.Errorf("cumulative n = %v, want %d", est["n"], epochs*perEpoch)
+	}
+	if est["window_n"] != float64(W*perEpoch) {
+		t.Errorf("window_n = %v, want %d", est["window_n"], W*perEpoch)
+	}
+
+	// The window-scoped p99 must answer for the last W epochs' items
+	// within the merged CKMS bound (W shards → 2ε·n ranks).
+	var last []float64
+	for _, s := range slices[epochs-W:] {
+		for _, it := range s {
+			last = append(last, float64(it))
+		}
+	}
+	sort.Float64s(last)
+	n := float64(len(last))
+	got := est["window_p99"]
+	lo := sort.SearchFloat64s(last, got)
+	hi := sort.Search(len(last), func(i int) bool { return last[i] > got })
+	rankErr := 0.0
+	if float64(hi) < 0.99*n {
+		rankErr = 0.99*n - float64(hi)
+	} else if float64(lo) > 0.99*n {
+		rankErr = float64(lo) - 0.99*n
+	}
+	if bound := 2 * 0.001 * n; rankErr > bound {
+		t.Errorf("window_p99 rank error %.0f > 2ε·n = %.0f", rankErr, bound)
+	}
+
+	// Wire round-trip: generations and the cumulative replica re-merge
+	// deterministically, so a decoded ring answers identically.
+	data, err := we.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := window.Unmarshal(data)
+	if err != nil {
+		t.Fatalf("windowed quantile failed to decode: %v", err)
+	}
+	dest := d.Estimates()
+	for key, v := range est {
+		if !near(dest[key], v) {
+			t.Errorf("decoded ring %s = %v, want %v", key, dest[key], v)
 		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,42 +21,76 @@ import (
 )
 
 func main() {
-	var (
-		kind = flag.String("kind", "zipf", "workload kind")
-		n    = flag.Int("n", 100000, "stream length")
-		m    = flag.Int("m", 4096, "universe size / distinct items")
-		s    = flag.Float64("s", 1.1, "zipf/netflow skew")
-		p    = flag.Float64("p", 0.1, "target sampling probability (entropy1 instance)")
-		hh   = flag.Int("hh", 5, "planted heavy hitters")
-		seed = flag.Uint64("seed", 1, "random seed")
-		out  = flag.String("out", "", "output file (default stdout)")
-	)
-	flag.Parse()
-
-	wl, err := build(*kind, *n, *m, *s, *p, *hh, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "genstream:", err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		// Flag-parse failures were already reported (with usage) by the
+		// FlagSet on stderr; don't print them twice.
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "genstream:", err)
+		}
 		os.Exit(1)
 	}
+}
 
-	var w io.Writer = os.Stdout
+// errUsage marks flag-parse failures the FlagSet has already reported.
+var errUsage = errors.New("usage error")
+
+// run parses args, builds the workload, and writes it to -out (or w
+// when -out is unset). Diagnostics go to errW. Split from main so tests
+// can assert usage and validation errors in-process.
+func run(args []string, w, errW io.Writer) error {
+	fs := flag.NewFlagSet("genstream", flag.ContinueOnError)
+	var (
+		kind = fs.String("kind", "zipf", "workload kind")
+		n    = fs.Int("n", 100000, "stream length")
+		m    = fs.Int("m", 4096, "universe size / distinct items")
+		s    = fs.Float64("s", 1.1, "zipf/netflow skew")
+		p    = fs.Float64("p", 0.1, "target sampling probability (entropy1 instance)")
+		hh   = fs.Int("hh", 5, "planted heavy hitters")
+		seed = fs.Uint64("seed", 1, "random seed")
+		out  = fs.String("out", "", "output file (default stdout)")
+	)
+	fs.SetOutput(errW)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful exit, not an error
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", *n)
+	}
+	if *m < 1 {
+		return fmt.Errorf("-m must be >= 1, got %d", *m)
+	}
+	if *hh < 1 {
+		return fmt.Errorf("-hh must be >= 1, got %d", *hh)
+	}
+	if *p <= 0 || *p > 1 {
+		return fmt.Errorf("-p must be in (0, 1], got %v", *p)
+	}
+
+	wl, err := build(*kind, *n, *m, *s, *p, *hh, *seed, errW)
+	if err != nil {
+		return err
+	}
+
+	dst := w
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "genstream:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
-		w = f
+		dst = f
 	}
-	if err := stream.WriteText(w, wl.Stream); err != nil {
-		fmt.Fprintln(os.Stderr, "genstream:", err)
-		os.Exit(1)
+	if err := stream.WriteText(dst, wl.Stream); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d items, universe %d\n", wl.Name, wl.Stream.Len(), wl.Universe)
+	fmt.Fprintf(errW, "wrote %s: %d items, universe %d\n", wl.Name, wl.Stream.Len(), wl.Universe)
+	return nil
 }
 
-func build(kind string, n, m int, s, p float64, hh int, seed uint64) (workload.Workload, error) {
+func build(kind string, n, m int, s, p float64, hh int, seed uint64, errW io.Writer) (workload.Workload, error) {
 	switch kind {
 	case "zipf":
 		return workload.Zipf(n, m, s, seed), nil
@@ -76,7 +111,7 @@ func build(kind string, n, m int, s, p float64, hh int, seed uint64) (workload.W
 		return wl, nil
 	case "f0adversarial":
 		wl, dup := workload.F0Adversarial(n, m, seed)
-		fmt.Fprintf(os.Stderr, "f0adversarial branch: duplicated=%v\n", dup)
+		fmt.Fprintf(errW, "f0adversarial branch: duplicated=%v\n", dup)
 		return wl, nil
 	case "entropy1":
 		return workload.EntropyScenario1(n, p), nil

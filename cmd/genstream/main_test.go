@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
 	"testing"
 
 	"substream/internal/stream"
@@ -12,7 +16,7 @@ func TestBuildAllKinds(t *testing.T) {
 		"netflow", "f0adversarial", "entropy1", "entropy2",
 	}
 	for _, kind := range kinds {
-		wl, err := build(kind, 5000, 200, 1.1, 0.1, 5, 7)
+		wl, err := build(kind, 5000, 200, 1.1, 0.1, 5, 7, io.Discard)
 		if err != nil {
 			t.Fatalf("kind %s: %v", kind, err)
 		}
@@ -34,18 +38,78 @@ func TestBuildAllKinds(t *testing.T) {
 }
 
 func TestBuildUnknownKind(t *testing.T) {
-	if _, err := build("nope", 100, 10, 1, 0.1, 1, 1); err == nil {
+	if _, err := build("nope", 100, 10, 1, 0.1, 1, 1, io.Discard); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
 
 func TestBuildConstFreqSmallN(t *testing.T) {
 	// n < m: repeat clamps to 1.
-	wl, err := build("constfreq", 10, 100, 1, 0.1, 1, 1)
+	wl, err := build("constfreq", 10, 100, 1, 0.1, 1, 1, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wl.Stream.Len() != 100 {
 		t.Fatalf("length %d", wl.Stream.Len())
+	}
+}
+
+func TestRunWritesStream(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-kind", "uniform", "-n", "100", "-m", "10"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	s, err := stream.ReadText(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 100 {
+		t.Fatalf("wrote %d items, want 100", len(s))
+	}
+	if !strings.Contains(errOut.String(), "wrote ") {
+		t.Fatalf("missing summary line on errW: %q", errOut.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		// usage errors come pre-reported by the FlagSet; validation
+		// errors must be printed by main, so the distinction matters.
+		wantUsage bool
+	}{
+		{"unknown flag", []string{"-nope"}, true},
+		{"malformed value", []string{"-n", "banana"}, true},
+		{"unknown kind", []string{"-kind", "nope"}, false},
+		{"zero n", []string{"-n", "0"}, false},
+		{"zero m", []string{"-m", "0"}, false},
+		{"zero hh", []string{"-hh", "0"}, false},
+		{"bad p", []string{"-p", "1.5"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			err := run(tc.args, &out, &errOut)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if got := errors.Is(err, errUsage); got != tc.wantUsage {
+				t.Fatalf("args %v: errUsage=%v, want %v (err: %v)", tc.args, got, tc.wantUsage, err)
+			}
+			if out.Len() != 0 {
+				t.Fatalf("args %v wrote stream output despite error: %q", tc.args, out.String())
+			}
+		})
+	}
+}
+
+func TestRunHelpIsSuccess(t *testing.T) {
+	var errOut bytes.Buffer
+	if err := run([]string{"-h"}, io.Discard, &errOut); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "-kind") {
+		t.Fatalf("usage text missing from errW: %q", errOut.String())
 	}
 }

@@ -40,6 +40,7 @@ import (
 
 	"substream/internal/core"
 	"substream/internal/estimator"
+	"substream/internal/obs"
 	"substream/internal/pipeline"
 	_ "substream/internal/quantile"
 	"substream/internal/rng"
@@ -65,6 +66,8 @@ type options struct {
 	list       bool
 	cpuprofile string
 	memprofile string
+	logLevel   string
+	logFormat  string
 }
 
 func main() {
@@ -85,6 +88,8 @@ func main() {
 	flag.BoolVar(&opt.list, "list-estimators", false, "list registered estimator kinds and exit")
 	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile at the end of the run to this file")
+	flag.StringVar(&opt.logLevel, "log-level", "info", "log verbosity: debug | info | warn | error (debug traces run phases)")
+	flag.StringVar(&opt.logFormat, "log-format", "text", "log encoding: text | json")
 	flag.Parse()
 
 	if err := run(os.Stdout, opt); err != nil {
@@ -97,6 +102,12 @@ func run(w io.Writer, opt options) error {
 	if opt.list {
 		estimator.WriteKinds(w)
 		return nil
+	}
+	// Diagnostics go to stderr as structured logs; stdout stays the
+	// machine-readable estimate report.
+	logger, err := obs.NewLogger(opt.logLevel, opt.logFormat, os.Stderr)
+	if err != nil {
+		return err
 	}
 	// Profiling hooks so perf work can attach pprof evidence without
 	// patching the binary: the CPU profile covers the whole ingest run,
@@ -116,13 +127,13 @@ func run(w io.Writer, opt options) error {
 		defer func() {
 			f, err := os.Create(opt.memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "substream: memprofile:", err)
+				logger.Warn("memprofile", "err", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live memory
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "substream: memprofile:", err)
+				logger.Warn("memprofile", "err", err)
 			}
 		}()
 	}
@@ -141,10 +152,12 @@ func run(w io.Writer, opt options) error {
 		opt.stat = "fk"
 	}
 
+	readStart := time.Now()
 	s, err := stream.ReadText(in)
 	if err != nil {
 		return err
 	}
+	logger.Debug("stream loaded", "items", len(s), "elapsed", time.Since(readStart))
 	if len(s) == 0 {
 		return fmt.Errorf("empty input stream")
 	}
@@ -212,6 +225,7 @@ func run(w io.Writer, opt options) error {
 		}
 		return e
 	})
+	feedStart := time.Now()
 	if clock == nil {
 		pl.FeedSlice(s)
 	} else {
@@ -227,6 +241,9 @@ func run(w io.Writer, opt options) error {
 	if err != nil {
 		return err
 	}
+	logger.Debug("ingest complete",
+		"fed", len(s), "kept", pl.Kept(), "shards", opt.shards,
+		"elapsed", time.Since(feedStart))
 	fmt.Fprintf(w, "sampled |L|=%d (p=%g, shards=%d, batch=%d)\n",
 		pl.Kept(), opt.p, opt.shards, opt.batch)
 	if clock != nil {

@@ -30,7 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"substream/internal/estimator"
+	"substream/internal/obs"
 	"substream/internal/server"
 )
 
@@ -53,6 +54,8 @@ type options struct {
 	window        int
 	epoch         time.Duration
 	maxSummaryAge time.Duration
+	logLevel      string
+	logFormat     string
 	list          bool
 }
 
@@ -68,6 +71,8 @@ func main() {
 	flag.IntVar(&opt.window, "window", 0, "default window span in epochs for streams that set none (agent mode; 0 = cumulative only)")
 	flag.DurationVar(&opt.epoch, "epoch", time.Minute, "default epoch duration for windowed streams that set none (agent mode)")
 	flag.DurationVar(&opt.maxSummaryAge, "max-summary-age", 0, "exclude agents whose last summary is older from global estimates (collector mode; 0 = never)")
+	flag.StringVar(&opt.logLevel, "log-level", "info", "log verbosity: debug | info | warn | error (debug includes per-request lines)")
+	flag.StringVar(&opt.logFormat, "log-format", "text", "log encoding: text | json")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list the estimator kinds streams may declare and exit")
 	flag.Parse()
 
@@ -117,6 +122,14 @@ func parseStreams(spec string) (map[string]server.StreamConfig, error) {
 	return out, nil
 }
 
+// newLogger builds the daemon's structured logger from the -log-level
+// and -log-format flags. Logs go to stderr; stdout stays reserved for
+// the startup address line scripts scrape. Empty values mean the flag
+// defaults, so tests driving run with option literals need not set them.
+func newLogger(opt options) (*slog.Logger, error) {
+	return obs.NewLogger(opt.logLevel, opt.logFormat, os.Stderr)
+}
+
 // run starts the daemon and blocks until ctx is canceled, then shuts
 // down gracefully. The bound address is printed to w so callers binding
 // port 0 can find the server.
@@ -125,18 +138,22 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 		estimator.WriteKinds(w)
 		return nil
 	}
+	logger, err := newLogger(opt)
+	if err != nil {
+		return err
+	}
 	switch opt.role {
 	case "agent":
-		return runAgent(ctx, opt, w)
+		return runAgent(ctx, opt, w, logger)
 	case "collector":
-		return runCollector(ctx, opt, w)
+		return runCollector(ctx, opt, w, logger)
 	default:
 		return fmt.Errorf("unknown role %q (want agent or collector)", opt.role)
 	}
 }
 
-func runCollector(ctx context.Context, opt options, w io.Writer) error {
-	collector := server.NewCollector(server.CollectorConfig{MaxSummaryAge: opt.maxSummaryAge})
+func runCollector(ctx context.Context, opt options, w io.Writer, logger *slog.Logger) error {
+	collector := server.NewCollector(server.CollectorConfig{MaxSummaryAge: opt.maxSummaryAge, Logger: logger})
 	srv, err := server.Start(opt.listen, collector.Handler())
 	if err != nil {
 		return err
@@ -146,7 +163,7 @@ func runCollector(ctx context.Context, opt options, w io.Writer) error {
 	return shutdown(srv, w)
 }
 
-func runAgent(ctx context.Context, opt options, w io.Writer) error {
+func runAgent(ctx context.Context, opt options, w io.Writer, logger *slog.Logger) error {
 	id := opt.id
 	if id == "" {
 		host, _ := os.Hostname()
@@ -165,7 +182,7 @@ func runAgent(ctx context.Context, opt options, w io.Writer) error {
 		Upstream:             opt.upstream,
 		FlushInterval:        opt.flush,
 		ShutdownFlushTimeout: opt.flushTimeout,
-		Logf:                 log.Printf,
+		Logger:               logger,
 	})
 	for name, cfg := range streams {
 		if err := agent.CreateStream(name, cfg); err != nil {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"time"
 
 	"substream/internal/rng"
 	"substream/internal/server"
@@ -74,6 +75,7 @@ func main() {
 		"top":   {Stat: "hh1", P: p, Alpha: 0.02, Seed: 1234},
 	}
 
+	var lastAgentURL string
 	for i := 0; i < agents; i++ {
 		agent := server.NewAgent(server.AgentConfig{
 			ID:       fmt.Sprintf("router-%d", i),
@@ -82,6 +84,7 @@ func main() {
 		ats := httptest.NewServer(agent.Handler())
 		defer ats.Close()
 		defer agent.Close()
+		lastAgentURL = ats.URL
 
 		for name, cfg := range streams {
 			body, _ := json.Marshal(cfg)
@@ -152,5 +155,49 @@ func main() {
 			break
 		}
 		fmt.Printf("%-8d %-14.0f %-10d\n", hh.Item, hh.Freq, truth[hh.Item])
+	}
+
+	// The topology observes itself (see README "Observability"): the
+	// agent's Prometheus exposition carries sampler acceptance and
+	// shipping cost, and the collector's trace ring records each
+	// summary's flush→fold propagation latency.
+	fmt.Printf("\nagent /metricsz?format=prom (excerpt):\n")
+	resp, err := http.Get(lastAgentURL + "/metricsz?format=prom")
+	if err != nil {
+		panic(err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, line := range bytes.Split(prom.Bytes(), []byte("\n")) {
+		switch {
+		case bytes.HasPrefix(line, []byte("agent_stream_")),
+			bytes.HasPrefix(line, []byte("summary_bytes_shipped")),
+			bytes.HasPrefix(line, []byte("agent_flush_seconds{")):
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	var trace struct {
+		Total int `json:"total"`
+		Spans []struct {
+			TraceID uint64 `json:"trace_id"`
+			Stream  string `json:"stream"`
+			Agent   string `json:"agent"`
+			E2ENs   int64  `json:"e2e_ns"`
+		} `json:"spans"`
+	}
+	resp, err = http.Get(cts.URL + "/debug/tracez")
+	if err != nil {
+		panic(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\ncollector /debug/tracez: %d fold spans (flush -> global estimate):\n", trace.Total)
+	for _, sp := range trace.Spans {
+		fmt.Printf("  trace %016x  %-6s %-9s e2e %s\n",
+			sp.TraceID, sp.Stream, sp.Agent, time.Duration(sp.E2ENs))
 	}
 }

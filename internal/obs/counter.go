@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// numCells is the number of padded cells per counter, a power of two.
+// Eight cells cover the daemon's concurrency sweet spot: HTTP handler
+// goroutines and pipeline shard workers spread across cells, while a
+// counter stays half a kilobyte — cheap enough for per-stream and
+// per-cause families.
+const numCells = 8
+
+// cell is one cache-line-padded accumulator. The padding keeps two
+// cells out of one 64-byte line, so increments from different cores
+// never invalidate each other's line.
+type cell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotone counter striped over padded atomic cells.
+// Increments pick a goroutine-affine cell, reads sum all cells; the sum
+// is monotone and eventually exact (after writers quiesce), the
+// contract a metrics scrape needs.
+type Counter struct {
+	cells [numCells]cell
+}
+
+// cellIndex picks a cell for the calling goroutine: the address of a
+// stack variable is goroutine-local (stacks are distinct heap spans),
+// so hashing it spreads concurrent goroutines across cells. The index
+// is only a placement hint — a goroutine whose stack moves after growth
+// simply lands on another cell, and Value sums them all — so the
+// uintptr conversion has no aliasing hazard.
+func cellIndex() int {
+	var marker byte
+	h := uint64(uintptr(unsafe.Pointer(&marker)))
+	// Fibonacci hash: multiply spreads entropy from the middle address
+	// bits (page- and frame-aligned lows are constant) into the top.
+	return int((h * 0x9E3779B97F4A7C15) >> (64 - 3)) // log2(numCells) = 3
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.cells[cellIndex()].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums every cell.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value (a float64 held in atomic
+// bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value loads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }

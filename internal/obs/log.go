@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a structured logger from the conventional -log-level
+// and -log-format flag values shared by the repo's CLIs. Empty strings
+// mean the flag defaults ("info", "text"), so tests that drive a CLI's
+// run function with a zero-valued options literal get a working logger
+// without setting either field.
+func NewLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	if level == "" {
+		level = "info"
+	}
+	if format == "" {
+		format = "text"
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug | info | warn | error)", level)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, hopts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, hopts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text | json)", format)
+	}
+}

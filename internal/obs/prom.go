@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"substream/internal/quantile"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): a # HELP and # TYPE line per
+// family, then one sample line per series, label values escaped per the
+// format's rules. Families appear in registration order, series within
+// a family in label order, so the output is deterministic — the golden
+// test relies on that.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		writeHeader(bw, f)
+		if f.collect != nil {
+			f.collect(func(v float64, labels ...Label) {
+				writeSample(bw, f.name, labels, v)
+			})
+			continue
+		}
+		for _, s := range f.snapshotSeries() {
+			if s.h != nil {
+				writeHistogram(bw, f.name, s.h)
+				continue
+			}
+			writeSample(bw, f.name, s.labels, s.value())
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, f *family) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind)
+	w.WriteByte('\n')
+}
+
+func writeSample(w *bufio.Writer, name string, labels []Label, v float64) {
+	w.WriteString(name)
+	writeLabels(w, labels)
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// writeHistogram renders a summary-typed family: quantile samples, then
+// _sum and _count.
+func writeHistogram(w *bufio.Writer, name string, h *Histogram) {
+	count, sum, qs := h.snapshot()
+	for _, q := range qs {
+		writeSample(w, name, []Label{{Key: "quantile", Value: strconv.FormatFloat(q.Quantile, 'g', -1, 64)}}, q.Value)
+	}
+	writeSample(w, name+"_sum", nil, sum)
+	writeSample(w, name+"_count", nil, float64(count))
+}
+
+func writeLabels(w *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Key)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// WriteJSON renders the registry as the flat expvar-style JSON panel
+// the daemon has always served: {"name": value, ...}. Labeled series
+// render as "name{key=\"value\"}" entries, labeled counter families
+// additionally surface their sum under the bare name (backward
+// compatibility with consumers of the pre-obs panel), and histograms
+// render as one nested object with count, sum, and per-target
+// quantiles.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, f := range r.families() {
+		if f.collect != nil {
+			f.collect(func(v float64, labels ...Label) {
+				out[seriesKey(f.name, labels)] = v
+			})
+			continue
+		}
+		var sum float64
+		for _, s := range f.snapshotSeries() {
+			if s.h != nil {
+				count, hsum, qs := s.h.snapshot()
+				nested := map[string]any{"count": count, "sum": hsum}
+				for _, q := range qs {
+					nested[quantile.QuantileKey(q.Quantile)] = q.Value
+				}
+				out[f.name] = nested
+				continue
+			}
+			v := s.value()
+			sum += v
+			out[seriesKey(f.name, s.labels)] = v
+		}
+		if f.sumJSON {
+			out[f.name] = sum
+		}
+	}
+	// encoding/json sorts map keys, so the panel is deterministic.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// seriesKey renders one series' JSON key: the bare name when unlabeled,
+// prometheus-style name{k="v"} otherwise.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"substream/internal/rng"
 	"substream/internal/stream"
@@ -81,6 +82,15 @@ type batchMsg struct {
 	ack    chan<- struct{}
 }
 
+// keptCell is one shard's post-sampling item count, padded to a cache
+// line so adjacent shard workers' per-batch increments never share (and
+// so never invalidate) one line — the false-sharing fix the flat
+// []atomic.Uint64 layout was vulnerable to.
+type keptCell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
 // Pipeline fans a single feed out to per-shard estimator replicas of type
 // E. Feeding is single-producer; Close (or Reduce/MergeAll) must be
 // called exactly once to stop the workers and collect the replicas.
@@ -93,8 +103,15 @@ type Pipeline[E any] struct {
 	buf    []stream.Item
 	next   int    // round-robin cursor
 	fed    uint64 // items fed by the producer
-	kept   []atomic.Uint64
+	kept   []keptCell
 	closed bool
+
+	// Producer-side instrumentation, guarded by the same single-producer
+	// discipline as fed: batches dispatched, Sync rounds, and cumulative
+	// time the producer spent parked in Sync waiting for shard acks.
+	batches  uint64
+	syncs    uint64
+	syncWait time.Duration
 }
 
 // New builds a pipeline whose shard replicas are produced by newShard
@@ -108,7 +125,7 @@ func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
 		cfg:    cfg,
 		shards: make([]E, cfg.Shards),
 		chans:  make([]chan batchMsg, cfg.Shards),
-		kept:   make([]atomic.Uint64, cfg.Shards),
+		kept:   make([]keptCell, cfg.Shards),
 	}
 	p.pool.New = func() any { return make([]stream.Item, 0, cfg.BatchSize) }
 	p.buf = p.pool.Get().([]stream.Item)
@@ -165,7 +182,7 @@ func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.It
 			scratch = sampler.filter(scratch[:0], items)
 			items = scratch
 		}
-		p.kept[shard].Add(uint64(len(items)))
+		p.kept[shard].n.Add(uint64(len(items)))
 		if len(items) > 0 {
 			apply(items)
 		}
@@ -228,6 +245,7 @@ func (s *bernoulliSampler) filter(dst, items []stream.Item) []stream.Item {
 
 // dispatch hands one batch to the next shard round-robin.
 func (p *Pipeline[E]) dispatch(msg batchMsg) {
+	p.batches++
 	p.chans[p.next] <- msg
 	p.next++
 	if p.next == len(p.chans) {
@@ -329,6 +347,7 @@ func (p *Pipeline[E]) Sync() {
 		return
 	}
 	p.Flush()
+	start := time.Now()
 	acks := make(chan struct{}, len(p.chans))
 	for _, ch := range p.chans {
 		ch <- batchMsg{ack: acks}
@@ -336,6 +355,8 @@ func (p *Pipeline[E]) Sync() {
 	for range p.chans {
 		<-acks
 	}
+	p.syncs++
+	p.syncWait += time.Since(start)
 }
 
 // Replicas returns the shard replicas without stopping the workers. It
@@ -383,9 +404,55 @@ func (p *Pipeline[E]) Fed() uint64 { return p.fed }
 func (p *Pipeline[E]) Kept() uint64 {
 	var total uint64
 	for i := range p.kept {
-		total += p.kept[i].Load()
+		total += p.kept[i].n.Load()
 	}
 	return total
+}
+
+// Stats is a point-in-time instrumentation snapshot of a pipeline: the
+// shape (shards, batch size, queue capacity), the producer's progress
+// (items fed, batches dispatched, Sync rounds and cumulative Sync
+// stall), the workers' progress (items kept post-sampling), and the
+// current channel occupancy — the numbers the daemon's /metricsz gauges
+// surface per stream.
+type Stats struct {
+	Shards    int
+	BatchSize int
+	QueueCap  int // per-shard channel capacity, in batches
+
+	Fed     uint64
+	Kept    uint64
+	Batches uint64
+
+	Syncs    uint64
+	SyncWait time.Duration
+
+	// Queued is the number of batches currently buffered across all
+	// shard channels — pipeline depth; QueueCap*Shards is the ceiling
+	// at which the producer blocks.
+	Queued int
+}
+
+// Stats reads the snapshot. Like Feed and Fed it participates in the
+// single-producer discipline: call it from the feeding goroutine or
+// under whatever lock serializes feeding (the daemon holds its runner
+// mutex). Queued and Kept are always safe; they read channel lengths
+// and atomics.
+func (p *Pipeline[E]) Stats() Stats {
+	s := Stats{
+		Shards:    len(p.chans),
+		BatchSize: p.cfg.BatchSize,
+		QueueCap:  p.cfg.QueueDepth,
+		Fed:       p.fed,
+		Kept:      p.Kept(),
+		Batches:   p.batches,
+		Syncs:     p.syncs,
+		SyncWait:  p.syncWait,
+	}
+	for _, ch := range p.chans {
+		s.Queued += len(ch)
+	}
+	return s
 }
 
 // NumShards returns the shard count.

@@ -279,3 +279,32 @@ func TestSyncAfterCloseIsNoop(t *testing.T) {
 	p.Close()
 	p.Sync() // must not panic or deadlock on closed channels
 }
+
+func TestStatsSnapshot(t *testing.T) {
+	p := New(Config{Shards: 2, BatchSize: 8, QueueDepth: 4},
+		func(int) *countReplica { return &countReplica{} })
+	for i := 0; i < 100; i++ {
+		p.Feed(stream.Item(i + 1))
+	}
+	p.Sync()
+	s := p.Stats()
+	if s.Shards != 2 || s.BatchSize != 8 || s.QueueCap != 4 {
+		t.Fatalf("shape: %+v", s)
+	}
+	if s.Fed != 100 || s.Kept != 100 {
+		t.Fatalf("progress: %+v", s)
+	}
+	// 100 items in 8-item batches: 12 full dispatches plus the partial
+	// batch Sync's Flush dispatched.
+	if s.Batches != 13 {
+		t.Fatalf("batches = %d, want 13", s.Batches)
+	}
+	if s.Syncs != 1 || s.SyncWait <= 0 {
+		t.Fatalf("sync accounting: %+v", s)
+	}
+	// After Sync every worker has drained its channel.
+	if s.Queued != 0 {
+		t.Fatalf("queued = %d after Sync", s.Queued)
+	}
+	p.Close()
+}

@@ -8,12 +8,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"substream/internal/obs"
+	"substream/internal/pipeline"
 	"substream/internal/stream"
 )
 
@@ -33,17 +37,21 @@ type AgentConfig struct {
 	ShutdownFlushTimeout time.Duration
 	// Client performs upstream requests. Default: 10s-timeout client.
 	Client *http.Client
-	// Logf receives operational log lines. Nil discards them.
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs (stream lifecycle at
+	// Info, flush failures at Warn, per-request lines at Debug). Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Agent is the monitoring daemon's ingest role: a registry of named
 // streams, each a sharded pipeline of mergeable estimator replicas, plus
 // the shipping path that exports cumulative summaries upstream.
 type Agent struct {
-	cfg     AgentConfig
-	boot    uint64 // process-incarnation marker carried by every Summary
-	metrics *Metrics
+	cfg      AgentConfig
+	logger   *slog.Logger
+	boot     uint64 // process-incarnation marker carried by every Summary
+	metrics  *Metrics
+	traceSeq atomic.Uint64 // per-process flush counter feeding trace IDs
 
 	mu      sync.RWMutex
 	streams map[string]*agentStream
@@ -64,6 +72,12 @@ type agentStream struct {
 	run    streamRunner
 	shipMu sync.Mutex
 	seq    uint64
+	// items and bytes are this stream's children of the ingest_items /
+	// ingest_bytes families, resolved once at registration: the ingest
+	// hot path must be a plain atomic add, not a per-request label
+	// lookup.
+	items *obs.Counter
+	bytes *obs.Counter
 }
 
 // NewAgent builds an agent.
@@ -87,14 +101,57 @@ func NewAgent(cfg AgentConfig) *Agent {
 		}
 		cfg.Client = &http.Client{Timeout: timeout}
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger()
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:     cfg,
+		logger:  logger.With("role", "agent", "agent", cfg.ID),
 		boot:    uint64(time.Now().UnixNano()),
 		metrics: newMetrics(),
 		streams: make(map[string]*agentStream),
+	}
+	a.registerPipelineMetrics()
+	return a
+}
+
+// registerPipelineMetrics surfaces every stream's pipeline state as
+// dynamic gauge/counter families: series appear and disappear with the
+// stream registry, values are read at scrape time from each runner's
+// Stats snapshot. Occupancy (queue_len against queue_cap) is pipeline
+// depth; sync_wait is the cumulative time snapshots stalled waiting for
+// shard workers; kept/fed is the sampler acceptance rate.
+func (a *Agent) registerPipelineMetrics() {
+	reg := a.metrics.reg
+	families := []struct {
+		name string
+		help string
+		kind string
+		read func(s pipeline.Stats) float64
+	}{
+		{"agent_pipeline_queue_len", "batches currently buffered in shard channels, by stream", obs.KindGauge,
+			func(s pipeline.Stats) float64 { return float64(s.Queued) }},
+		{"agent_pipeline_queue_cap", "total shard channel capacity in batches, by stream", obs.KindGauge,
+			func(s pipeline.Stats) float64 { return float64(s.QueueCap * s.Shards) }},
+		{"agent_pipeline_batches", "batches dispatched to shard workers, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return float64(s.Batches) }},
+		{"agent_pipeline_syncs", "pipeline quiesce (Sync) rounds, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return float64(s.Syncs) }},
+		{"agent_pipeline_sync_wait_seconds", "cumulative time snapshots waited for shard acks, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return s.SyncWait.Seconds() }},
+		{"agent_stream_fed", "items fed to the pipeline, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return float64(s.Fed) }},
+		{"agent_stream_kept", "items kept after in-shard sampling, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return float64(s.Kept) }},
+	}
+	for _, fam := range families {
+		read := fam.read
+		reg.SetFunc(fam.name, fam.help, fam.kind, func(emit func(v float64, labels ...obs.Label)) {
+			for _, st := range a.snapshotStreams() {
+				emit(read(st.run.stats()), obs.Label{Key: "stream", Value: st.name})
+			}
+		})
 	}
 }
 
@@ -113,7 +170,7 @@ func (a *Agent) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/flush", a.handleFlushAll)
 	mux.HandleFunc("POST /flush", a.handleFlushAll)
 	addOps(mux, "agent", a.metrics)
-	return mux
+	return withRequestLog(a.logger, mux)
 }
 
 // errStreamExists marks a re-registration with a conflicting
@@ -151,10 +208,16 @@ func (a *Agent) CreateStream(name string, cfg StreamConfig) error {
 	if err != nil {
 		return err
 	}
-	a.streams[name] = &agentStream{name: name, cfg: cfg, run: run}
+	a.streams[name] = &agentStream{
+		name:  name,
+		cfg:   cfg,
+		run:   run,
+		items: a.metrics.IngestItems.With(name),
+		bytes: a.metrics.IngestBytes.With(name),
+	}
 	a.sorted = nil
-	a.cfg.Logf("substreamd: agent %s: stream %q registered (stat=%s p=%g shards=%d)",
-		a.cfg.ID, name, cfg.Stat, cfg.P, cfg.Shards)
+	a.logger.Info("stream registered",
+		"stream", name, "stat", cfg.Stat, "p", cfg.P, "shards", cfg.Shards)
 	return nil
 }
 
@@ -237,20 +300,21 @@ func (a *Agent) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st.run.close()
+	a.logger.Info("stream deleted", "stream", name)
 	writeJSON(w, http.StatusOK, map[string]string{"stream": name, "status": "deleted"})
 }
 
 func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
-	a.metrics.IngestRequests.Add(1)
+	a.metrics.IngestRequests.Inc()
 	st, ok := a.lookup(r.PathValue("name"))
 	if !ok {
-		a.metrics.IngestErrors.Add(1)
+		a.metrics.IngestErrors.With(causeUnknownStream).Inc()
 		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
 	isBinary, err := parseIngestType(r.Header.Get("Content-Type"))
 	if err != nil {
-		a.metrics.IngestErrors.Add(1)
+		a.metrics.IngestErrors.With(causeContentType).Inc()
 		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
 		return
 	}
@@ -258,21 +322,32 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// reject it here so the streaming binary path never ingests a
 	// prefix of a request MaxBytesReader would kill partway through.
 	if r.ContentLength > maxIngestBytes {
-		a.metrics.IngestErrors.Add(1)
+		a.metrics.IngestErrors.With(causeTooLarge).Inc()
 		writeError(w, http.StatusRequestEntityTooLarge,
 			"ingest body %d bytes exceeds the %d-byte limit", r.ContentLength, int64(maxIngestBytes))
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxIngestBytes)}
+	start := time.Now()
 	if isBinary {
 		// Binary bodies stream through pooled chunk buffers straight into
 		// the pipeline — no per-request allocation, no materialized
 		// request. A mid-body error cannot un-ingest earlier chunks, so
-		// the error reports how many items were already consumed.
-		n, err := decodeBinaryStream(body, func(chunk stream.Slice) { st.run.ingestCopy(chunk) })
-		a.metrics.IngestItems.Add(int64(n))
+		// the error reports how many items were already consumed. Feed
+		// time is accumulated inside the sink so the decode histogram
+		// isolates parsing from pipeline backpressure.
+		var feed time.Duration
+		n, err := decodeBinaryStream(body, func(chunk stream.Slice) {
+			t0 := time.Now()
+			st.run.ingestCopy(chunk)
+			feed += time.Since(t0)
+		})
+		a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
+		a.metrics.ShardFeed.Observe(feed.Seconds())
+		st.items.Add(uint64(n))
+		st.bytes.Add(uint64(body.n))
 		if err != nil {
-			a.metrics.IngestErrors.Add(1)
+			a.metrics.IngestErrors.With(causeDecode).Inc()
 			writeError(w, http.StatusBadRequest, "bad ingest body after %d items: %v", n, err)
 			return
 		}
@@ -280,14 +355,31 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	items, err := decodeTextItems(body)
+	a.metrics.IngestDecode.Since(start)
+	st.bytes.Add(uint64(body.n))
 	if err != nil {
-		a.metrics.IngestErrors.Add(1)
+		a.metrics.IngestErrors.With(causeDecode).Inc()
 		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
 		return
 	}
+	t0 := time.Now()
 	st.run.ingest(items)
-	a.metrics.IngestItems.Add(int64(len(items)))
+	a.metrics.ShardFeed.Since(t0)
+	st.items.Add(uint64(len(items)))
 	writeIngested(w, len(items))
+}
+
+// countingReader counts bytes consumed from the wrapped reader — the
+// ingest_bytes / summary_bytes_received accounting tap.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // writeIngested renders the ingest success envelope without the generic
@@ -304,7 +396,7 @@ func writeIngested(w http.ResponseWriter, n int) {
 }
 
 func (a *Agent) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	a.metrics.EstimateQueries.Add(1)
+	a.metrics.EstimateQueries.Inc()
 	st, ok := a.lookup(r.PathValue("name"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
@@ -358,14 +450,29 @@ func (a *Agent) FlushAll(ctx context.Context) (int, error) {
 	return n, errors.Join(errs...)
 }
 
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
+// turns (boot, flush counter) into well-spread trace IDs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // shipStream serializes one stream's cumulative state and POSTs it to
 // the collector. Because the payload is cumulative and ordered by Seq, a
 // lost or duplicated shipment is harmless — the collector keeps the
-// newest state per agent.
+// newest state per agent. Every shipment carries a trace ID and the
+// flush wall time, and lands in the agent's /debug/tracez ring as a
+// "ship" span; the collector records the matching "fold" span.
 func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 	if a.cfg.Upstream == "" {
+		a.metrics.ShipErrors.With(causeNoUpstream).Inc()
 		return fmt.Errorf("no upstream configured")
 	}
+	start := time.Now()
 	// Snapshot and sequence number are taken under one lock so Seq order
 	// equals snapshot order; sends may still arrive out of order, which
 	// the collector's (Boot, Seq) check absorbs.
@@ -373,46 +480,60 @@ func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 	payload, epoch, fed, kept, err := st.run.snapshot()
 	if err != nil {
 		st.shipMu.Unlock()
-		a.metrics.ShipErrors.Add(1)
+		a.metrics.ShipErrors.With(causeSnapshot).Inc()
 		return err
 	}
 	st.seq++
 	sum := Summary{
-		Agent:   a.cfg.ID,
-		Stream:  st.name,
-		Boot:    a.boot,
-		Seq:     st.seq,
-		Config:  st.cfg,
-		Fed:     fed,
-		Kept:    kept,
-		Epoch:   epoch,
-		Payload: payload,
+		Agent:     a.cfg.ID,
+		Stream:    st.name,
+		Boot:      a.boot,
+		Seq:       st.seq,
+		Config:    st.cfg,
+		Fed:       fed,
+		Kept:      kept,
+		Epoch:     epoch,
+		TraceID:   mix64(a.boot ^ (a.traceSeq.Add(1) * 0x9E3779B97F4A7C15)),
+		FlushedAt: start,
+		Payload:   payload,
 	}
 	st.shipMu.Unlock()
-	body, err := json.Marshal(sum)
-	if err != nil {
-		a.metrics.ShipErrors.Add(1)
+	span := obs.Span{
+		TraceID: sum.TraceID, Stage: "ship", Stream: st.name, Agent: a.cfg.ID, Start: start,
+	}
+	fail := func(cause string, err error) error {
+		a.metrics.ShipErrors.With(cause).Inc()
+		span.Err = err.Error()
+		a.metrics.Trace.Record(span)
 		return err
 	}
+	body, err := json.Marshal(sum)
+	if err != nil {
+		return fail(causeMarshal, err)
+	}
+	span.SnapshotNs = time.Since(start).Nanoseconds()
+	span.Bytes = len(body)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		a.cfg.Upstream+"/v1/collect", bytes.NewReader(body))
 	if err != nil {
-		a.metrics.ShipErrors.Add(1)
-		return err
+		return fail(causeRequest, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	postStart := time.Now()
 	resp, err := a.cfg.Client.Do(req)
 	if err != nil {
-		a.metrics.ShipErrors.Add(1)
-		return err
+		return fail(causeNetwork, err)
 	}
 	defer resp.Body.Close()
+	span.PostNs = time.Since(postStart).Nanoseconds()
 	if resp.StatusCode/100 != 2 {
-		a.metrics.ShipErrors.Add(1)
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("collector returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return fail(causeStatus, fmt.Errorf("collector returned %s: %s", resp.Status, bytes.TrimSpace(msg)))
 	}
-	a.metrics.SummariesOut.Add(1)
+	a.metrics.SummariesOut.Inc()
+	a.metrics.SummaryBytesOut.Add(uint64(len(body)))
+	a.metrics.AgentFlush.Since(start)
+	a.metrics.Trace.Record(span)
 	return nil
 }
 
@@ -429,7 +550,7 @@ func (a *Agent) Run(ctx context.Context) error {
 				continue
 			}
 			if _, err := a.FlushAll(ctx); err != nil {
-				a.cfg.Logf("substreamd: agent %s: periodic flush: %v", a.cfg.ID, err)
+				a.logger.Warn("periodic flush failed", "err", err)
 			}
 		case <-ctx.Done():
 			var err error

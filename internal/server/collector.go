@@ -3,12 +3,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"substream/internal/estimator"
+	"substream/internal/obs"
 )
 
 // CollectorConfig configures a collector daemon.
@@ -22,6 +24,9 @@ type CollectorConfig struct {
 	// Now is the staleness time source. Nil means time.Now; tests
 	// substitute a fake to drive expiry deterministically.
 	Now func() time.Time
+	// Logger receives structured operational logs (rejected summaries at
+	// Warn, per-request lines at Debug). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Collector is the monitoring daemon's aggregation role: it retains the
@@ -30,6 +35,7 @@ type CollectorConfig struct {
 // sampled-NetFlow scenario.
 type Collector struct {
 	cfg     CollectorConfig
+	logger  *slog.Logger
 	metrics *Metrics
 
 	mu      sync.RWMutex
@@ -58,7 +64,94 @@ func NewCollector(cfg CollectorConfig) *Collector {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Collector{cfg: cfg, metrics: newMetrics(), streams: make(map[string]*collectorStream)}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = discardLogger()
+	}
+	c := &Collector{
+		cfg:     cfg,
+		logger:  logger.With("role", "collector"),
+		metrics: newMetrics(),
+		streams: make(map[string]*collectorStream),
+	}
+	c.registerAgentMetrics()
+	return c
+}
+
+// registerAgentMetrics surfaces the collector's retained fleet state as
+// dynamic gauges, read under the stream lock at scrape time: per-agent
+// last-seen age (the raw staleness clock), a per-agent stale flag, and
+// per-stream retained/stale agent counts. Series are emitted in sorted
+// (stream, agent) order so scrapes are deterministic.
+func (c *Collector) registerAgentMetrics() {
+	reg := c.metrics.reg
+	perAgent := func(emit func(v float64, labels ...obs.Label), read func(st agentState, now time.Time) float64) {
+		now := c.cfg.Now()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		for _, name := range sortedKeys(c.streams) {
+			st := c.streams[name]
+			for _, id := range sortedKeys(st.agents) {
+				emit(read(st.agents[id], now),
+					obs.Label{Key: "agent", Value: id}, obs.Label{Key: "stream", Value: name})
+			}
+		}
+	}
+	reg.SetFunc("collector_agent_last_seen_age_seconds",
+		"seconds since each retained agent's newest accepted summary", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			perAgent(emit, func(st agentState, now time.Time) float64 {
+				return now.Sub(st.lastSeen).Seconds()
+			})
+		})
+	reg.SetFunc("collector_agent_stale",
+		"1 if the agent's retained summary has outlived max-summary-age, else 0", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			perAgent(emit, func(st agentState, now time.Time) float64 {
+				if c.stale(st, now) {
+					return 1
+				}
+				return 0
+			})
+		})
+	perStream := func(emit func(v float64, labels ...obs.Label), read func(st *collectorStream, now time.Time) float64) {
+		now := c.cfg.Now()
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		for _, name := range sortedKeys(c.streams) {
+			emit(read(c.streams[name], now), obs.Label{Key: "stream", Value: name})
+		}
+	}
+	reg.SetFunc("collector_agents", "retained agents, by stream", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			perStream(emit, func(st *collectorStream, _ time.Time) float64 {
+				return float64(len(st.agents))
+			})
+		})
+	reg.SetFunc("collector_stale_agents",
+		"retained agents currently excluded from estimates as stale, by stream", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			perStream(emit, func(st *collectorStream, now time.Time) float64 {
+				n := 0
+				for _, state := range st.agents {
+					if c.stale(state, now) {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		})
+}
+
+// sortedKeys returns m's keys in sorted order — scrape determinism for
+// the dynamic gauge families.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Metrics exposes the collector's instrument panel.
@@ -72,7 +165,7 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/streams/{name}/estimate", c.handleEstimate)
 	mux.HandleFunc("DELETE /v1/streams/{name}", c.handleDelete)
 	addOps(mux, "collector", c.metrics)
-	return mux
+	return withRequestLog(c.logger, mux)
 }
 
 // stale reports whether an agent's retained state has outlived
@@ -88,12 +181,38 @@ func (c *Collector) stale(st agentState, now time.Time) bool {
 // while within one incarnation stale or replayed shipments are ignored.
 // Both properties together make shipping idempotent and restart-safe.
 func (c *Collector) Accept(sum Summary) error {
+	_, err := c.accept(sum, c.cfg.Now(), len(sum.Payload))
+	return err
+}
+
+// accept is Accept plus observability: it reports which
+// summaries_rejected cause a failure maps to and records the "fold" leg
+// of the shipment's trace — decode and trial-fold latency, end-to-end
+// time from the agent's flush stamp, and the error if rejected.
+func (c *Collector) accept(sum Summary, arrival time.Time, bytes int) (cause string, err error) {
+	span := obs.Span{
+		TraceID: sum.TraceID,
+		Stage:   "fold",
+		Stream:  sum.Stream,
+		Agent:   sum.Agent,
+		Start:   arrival,
+		Bytes:   bytes,
+	}
+	if !sum.FlushedAt.IsZero() {
+		span.E2ENs = arrival.Sub(sum.FlushedAt).Nanoseconds()
+	}
+	defer func() {
+		if err != nil {
+			span.Err = err.Error()
+		}
+		c.metrics.Trace.Record(span)
+	}()
 	if sum.Stream == "" || sum.Agent == "" {
-		return fmt.Errorf("summary must name a stream and an agent")
+		return causeConfig, fmt.Errorf("summary must name a stream and an agent")
 	}
 	cfg := sum.Config.withDefaults()
 	if err := cfg.validate(); err != nil {
-		return fmt.Errorf("summary config: %w", err)
+		return causeConfig, fmt.Errorf("summary config: %w", err)
 	}
 	// Decode through the registry's single entry point, then trial-fold
 	// eagerly: a corrupt payload, one of the wrong kind for the declared
@@ -102,12 +221,19 @@ func (c *Collector) Accept(sum Summary) error {
 	// at the door rather than poisoning every later estimate query. The
 	// decoded estimator — not the bytes — is what the collector retains.
 	fold := buildFolder(cfg)
+	t0 := time.Now()
 	decoded, err := estimator.Decode(sum.Payload)
+	span.DecodeNs = time.Since(t0).Nanoseconds()
+	c.metrics.CollectDecode.Since(t0)
 	if err != nil {
-		return fmt.Errorf("summary payload: %w", err)
+		return causePayload, fmt.Errorf("summary payload: %w", err)
 	}
-	if _, err := fold.foldDecoded([]estimator.Estimator{decoded}); err != nil {
-		return fmt.Errorf("summary payload does not match its declared config: %w", err)
+	t0 = time.Now()
+	_, foldErr := fold.foldDecoded([]estimator.Estimator{decoded})
+	span.FoldNs = time.Since(t0).Nanoseconds()
+	c.metrics.CollectFold.Since(t0)
+	if foldErr != nil {
+		return causePayload, fmt.Errorf("summary payload does not match its declared config: %w", foldErr)
 	}
 	sum.Payload = nil // retained via decoded; drop the byte copy
 
@@ -118,7 +244,7 @@ func (c *Collector) Accept(sum Summary) error {
 		st = &collectorStream{cfg: cfg, fold: fold, agents: make(map[string]agentState)}
 		c.streams[sum.Stream] = st
 	} else if !st.cfg.sharedEquals(cfg) {
-		return fmt.Errorf("stream %q: agent %q ships config incompatible with the registered one",
+		return causeConflict, fmt.Errorf("stream %q: agent %q ships config incompatible with the registered one",
 			sum.Stream, sum.Agent)
 	}
 	if prev, ok := st.agents[sum.Agent]; ok {
@@ -129,11 +255,11 @@ func (c *Collector) Accept(sum Summary) error {
 		// delivery can briefly win instead, but the live process's next
 		// flush repairs that, while a clock step would never heal.)
 		if prev.sum.Boot == sum.Boot && prev.sum.Seq >= sum.Seq {
-			return nil // stale duplicate; newest state retained
+			return "", nil // stale duplicate; newest state retained
 		}
 	}
 	st.agents[sum.Agent] = agentState{sum: sum, decoded: decoded, lastSeen: c.cfg.Now()}
-	return nil
+	return "", nil
 }
 
 // GlobalEstimate is the collector's answer for one stream: the folded
@@ -194,18 +320,22 @@ func (c *Collector) Estimate(name string) (GlobalEstimate, error) {
 
 func (c *Collector) handleCollect(w http.ResponseWriter, r *http.Request) {
 	var sum Summary
-	body := http.MaxBytesReader(w, r.Body, maxSummaryBytes)
+	arrival := time.Now()
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxSummaryBytes)}
 	if err := json.NewDecoder(body).Decode(&sum); err != nil {
-		c.metrics.CollectRejects.Add(1)
+		c.metrics.CollectRejects.With(causeEnvelope).Inc()
 		writeError(w, http.StatusBadRequest, "bad summary: %v", err)
 		return
 	}
-	if err := c.Accept(sum); err != nil {
-		c.metrics.CollectRejects.Add(1)
+	c.metrics.SummaryBytesIn.Add(uint64(body.n))
+	if cause, err := c.accept(sum, arrival, int(body.n)); err != nil {
+		c.metrics.CollectRejects.With(cause).Inc()
+		c.logger.Warn("summary rejected",
+			"stream", sum.Stream, "agent", sum.Agent, "cause", cause, "err", err)
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	c.metrics.SummariesIn.Add(1)
+	c.metrics.SummariesIn.Inc()
 	writeJSON(w, http.StatusAccepted, map[string]string{
 		"stream": sum.Stream, "agent": sum.Agent, "status": "accepted",
 	})
@@ -278,7 +408,7 @@ func (c *Collector) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Collector) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	c.metrics.EstimateQueries.Add(1)
+	c.metrics.EstimateQueries.Inc()
 	name := r.PathValue("name")
 	global, err := c.Estimate(name)
 	if err != nil {

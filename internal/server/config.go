@@ -230,8 +230,15 @@ type Summary struct {
 	// Epoch is the epoch index the stream's ring was serialized at (0
 	// for unwindowed streams) — the operator's handle for telling how
 	// far behind an agent's window is without decoding the payload.
-	Epoch   uint64 `json:"epoch,omitempty"`
-	Payload []byte `json:"payload"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// TraceID correlates this shipment's "ship" span (agent tracez ring)
+	// with its "fold" span (collector tracez ring); FlushedAt is the
+	// agent's flush wall time, from which the collector derives the
+	// end-to-end flush→fold latency. Both are observability metadata:
+	// acceptance and ordering never depend on them.
+	TraceID   uint64    `json:"trace_id,omitempty"`
+	FlushedAt time.Time `json:"flushed_at,omitzero"`
+	Payload   []byte    `json:"payload"`
 }
 
 // streamRunner is one agent-side stream: a running pipeline plus the
@@ -251,6 +258,9 @@ type streamRunner interface {
 	estimates() (Estimates, error)
 	snapshot() (payload []byte, epoch uint64, fed, kept uint64, err error)
 	counts() (fed, kept uint64)
+	// stats returns the pipeline's instrumentation snapshot (queue
+	// occupancy, batch/sync counts) for the metrics layer.
+	stats() pipeline.Stats
 	close()
 }
 
@@ -362,6 +372,12 @@ func (r *runner) counts() (uint64, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.pl.Fed(), r.pl.Kept()
+}
+
+func (r *runner) stats() pipeline.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pl.Stats()
 }
 
 func (r *runner) close() {

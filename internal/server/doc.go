@@ -73,6 +73,38 @@
 // configured agents on synchronized clocks rotate together, Summary
 // carries the ring's epoch index, and the collector's fold realigns
 // whatever flush-schedule skew remains (see internal/window).
+//
+// # Ops endpoints
+//
+// Both roles expose the same operational surface alongside their data
+// APIs (all instrumentation lives in internal/obs; see the README's
+// Observability section for the metric catalog):
+//
+//	GET /healthz                 liveness: {"status": "ok", "role": ...}
+//	GET /metricsz                metrics as flat JSON (expvar-style);
+//	                             labeled families also emit a bare-name
+//	                             sum for dashboard compatibility
+//	GET /metricsz?format=prom    Prometheus text format 0.0.4: counters,
+//	                             gauges, and CKMS-quantile histogram
+//	                             summaries (p50/p99/p999 + _sum/_count)
+//	GET /debug/tracez            newest-first ring of flush→fold spans:
+//	                             agents record "ship" spans (snapshot,
+//	                             marshal, POST timings per summary),
+//	                             collectors record "fold" spans (decode,
+//	                             trial-fold, end-to-end latency) joined
+//	                             by the TraceID stamped on each Summary
+//	GET /debug/pprof/...         standard net/http/pprof profiles
+//
+// Every response carries an X-Request-Id header echoing the process-wide
+// request sequence number; at -log-level debug each request is also
+// logged with that id, method, path, status, and duration.
+//
+// Data-plane routes, for completeness — agent: PUT/DELETE
+// /v1/streams/{name}, GET /v1/streams, POST /v1/streams/{name}/ingest,
+// GET /v1/streams/{name}/estimate, POST /v1/streams/{name}/flush,
+// POST /v1/flush (alias /flush); collector: POST /v1/collect,
+// GET /v1/streams, GET /v1/streams/{name}/estimate, DELETE
+// /v1/streams/{name}.
 package server
 
 // The daemon speaks whatever the estimator registry holds; linking

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"substream/internal/core"
+	"substream/internal/obs"
+	"substream/internal/rng"
+)
+
+// ingestCauses and collectCauses enumerate every cause label the audit
+// tests below sweep, so a counter bumped under an unexpected cause fails
+// the "all others unchanged" check instead of hiding.
+var ingestCauses = []string{causeUnknownStream, causeContentType, causeTooLarge, causeDecode}
+var collectCauses = []string{causeEnvelope, causeConfig, causePayload, causeConflict}
+
+// causeValues captures every cause child of a vec.
+func causeValues(v *obs.CounterVec, causes []string) map[string]uint64 {
+	out := make(map[string]uint64, len(causes))
+	for _, c := range causes {
+		out[c] = v.With(c).Value()
+	}
+	return out
+}
+
+// assertCauseDelta checks exactly one cause moved, by exactly one.
+func assertCauseDelta(t *testing.T, before, after map[string]uint64, want string) {
+	t.Helper()
+	for cause, b := range before {
+		wantDelta := uint64(0)
+		if cause == want {
+			wantDelta = 1
+		}
+		if got := after[cause] - b; got != wantDelta {
+			t.Errorf("cause %q: delta %d, want %d", cause, got, wantDelta)
+		}
+	}
+}
+
+// TestIngestErrorCausesAudit drives every early return of handleIngest
+// and asserts each bumps exactly its own ingest_errors cause — the audit
+// that no failure path is silently uncounted or double-counted.
+func TestIngestErrorCausesAudit(t *testing.T) {
+	agent := NewAgent(AgentConfig{ID: "audit"})
+	defer agent.Close()
+	if err := agent.CreateStream("s", StreamConfig{Stat: "f0", P: 0.5, Presampled: true}); err != nil {
+		t.Fatal(err)
+	}
+	h := agent.Handler()
+	errs := agent.Metrics().IngestErrors
+
+	cases := []struct {
+		name        string
+		path        string
+		contentType string
+		body        []byte
+		contentLen  int64 // overrides the request's declared length when > 0
+		status      int
+		cause       string
+	}{
+		{"unknown stream", "/v1/streams/nope/ingest", "text/plain", []byte("1\n"), 0,
+			http.StatusNotFound, causeUnknownStream},
+		{"bad content type", "/v1/streams/s/ingest", "application/json", []byte("[1]"), 0,
+			http.StatusBadRequest, causeContentType},
+		{"declared oversize", "/v1/streams/s/ingest", ContentTypeBinary, []byte{1}, maxIngestBytes + 1,
+			http.StatusRequestEntityTooLarge, causeTooLarge},
+		{"binary decode", "/v1/streams/s/ingest", ContentTypeBinary, []byte{1, 2, 3}, 0,
+			http.StatusBadRequest, causeDecode},
+		{"text decode", "/v1/streams/s/ingest", "text/plain", []byte("not-a-number\n"), 0,
+			http.StatusBadRequest, causeDecode},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := causeValues(errs, ingestCauses)
+			req := httptest.NewRequest(http.MethodPost, tc.path, strings.NewReader(string(tc.body)))
+			req.Header.Set("Content-Type", tc.contentType)
+			if tc.contentLen > 0 {
+				req.ContentLength = tc.contentLen
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			if rr.Code != tc.status {
+				t.Fatalf("status %d, want %d (%s)", rr.Code, tc.status, rr.Body.String())
+			}
+			assertCauseDelta(t, before, causeValues(errs, ingestCauses), tc.cause)
+		})
+	}
+
+	// A successful ingest moves no error cause and counts per stream.
+	before := causeValues(errs, ingestCauses)
+	itemsBefore := agent.Metrics().IngestItems.With("s").Value()
+	req := httptest.NewRequest(http.MethodPost, "/v1/streams/s/ingest", strings.NewReader("1\n2\n3\n"))
+	req.Header.Set("Content-Type", "text/plain")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("ingest status %d", rr.Code)
+	}
+	assertCauseDelta(t, before, causeValues(errs, ingestCauses), "")
+	if got := agent.Metrics().IngestItems.With("s").Value() - itemsBefore; got != 3 {
+		t.Fatalf("ingest_items{stream=s} delta %d, want 3", got)
+	}
+}
+
+// TestShipErrorCausesAudit drives the shipping failure modes an agent
+// can hit without a cooperating collector: no upstream, connection
+// refused, and a non-2xx response.
+func TestShipErrorCausesAudit(t *testing.T) {
+	shipCauses := []string{causeNoUpstream, causeSnapshot, causeMarshal, causeRequest, causeNetwork, causeStatus}
+	newShipper := func(upstream string) *Agent {
+		a := NewAgent(AgentConfig{ID: "shipper", Upstream: upstream})
+		t.Cleanup(a.Close)
+		if err := a.CreateStream("s", StreamConfig{Stat: "f0", P: 0.5, Presampled: true}); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	t.Run("no upstream", func(t *testing.T) {
+		a := newShipper("")
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush without upstream succeeded")
+		}
+		assertCauseDelta(t, before, causeValues(a.Metrics().ShipErrors, shipCauses), causeNoUpstream)
+	})
+
+	t.Run("network", func(t *testing.T) {
+		// A listener that is immediately closed: connection refused.
+		dead := httptest.NewServer(http.NotFoundHandler())
+		deadURL := dead.URL
+		dead.Close()
+		a := newShipper(deadURL)
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush to dead upstream succeeded")
+		}
+		assertCauseDelta(t, before, causeValues(a.Metrics().ShipErrors, shipCauses), causeNetwork)
+	})
+
+	t.Run("status", func(t *testing.T) {
+		up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "teapot", http.StatusTeapot)
+		}))
+		t.Cleanup(up.Close)
+		a := newShipper(up.URL)
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush to erroring upstream succeeded")
+		}
+		after := causeValues(a.Metrics().ShipErrors, shipCauses)
+		assertCauseDelta(t, before, after, causeStatus)
+		// The failed shipment still left a ship span, with the error.
+		spans := a.Metrics().Trace.Snapshot()
+		if len(spans) == 0 || spans[0].Err == "" || spans[0].Stage != "ship" {
+			t.Fatalf("failed ship left no errored span: %+v", spans)
+		}
+	})
+}
+
+// f0Summary builds a self-consistent shippable summary for tests.
+func f0Summary(agentID, stream string, cfg StreamConfig, seq uint64) Summary {
+	e := core.NewF0Estimator(core.F0Config{P: cfg.P}, rng.New(cfg.Seed))
+	e.Observe(1)
+	payload, _ := e.MarshalBinary()
+	return Summary{Agent: agentID, Stream: stream, Seq: seq, Config: cfg, Fed: 1, Kept: 1, Payload: payload}
+}
+
+// TestCollectErrorCausesAudit drives every reject path of handleCollect
+// and asserts the matching summaries_rejected cause.
+func TestCollectErrorCausesAudit(t *testing.T) {
+	collector := NewCollector(CollectorConfig{})
+	cts := httptest.NewServer(collector.Handler())
+	defer cts.Close()
+	rejects := collector.Metrics().CollectRejects
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 1}
+
+	post := func(body []byte) int {
+		resp, err := http.Post(cts.URL+"/v1/collect", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Pin the stream's config with one good summary first.
+	if post(mustJSON(f0Summary("a", "s", cfg, 1))) != http.StatusAccepted {
+		t.Fatal("seed summary rejected")
+	}
+
+	otherCfg := cfg
+	otherCfg.Seed = 2
+	cases := []struct {
+		name  string
+		body  []byte
+		cause string
+	}{
+		{"garbage JSON", []byte("{nope"), causeEnvelope},
+		{"missing identity", mustJSON(Summary{Config: cfg, Payload: []byte{1}}), causeConfig},
+		{"invalid config", mustJSON(Summary{Agent: "a", Stream: "s2", Seq: 1,
+			Config: StreamConfig{Stat: "f0", P: 42}, Payload: []byte{1}}), causeConfig},
+		{"corrupt payload", mustJSON(Summary{Agent: "a", Stream: "s2", Seq: 1,
+			Config: cfg, Payload: []byte{0xff, 0x01}}), causePayload},
+		// Self-consistent under its own config, but the stream is pinned
+		// to a different seed.
+		{"config conflict", mustJSON(f0Summary("b", "s", otherCfg, 1)), causeConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := causeValues(rejects, collectCauses)
+			if code := post(tc.body); code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			assertCauseDelta(t, before, causeValues(rejects, collectCauses), tc.cause)
+		})
+	}
+}
+
+// TestMetricszPromFormat checks the Prometheus exposition endpoint over
+// live agent HTTP: content type, HELP/TYPE metadata, per-stream labeled
+// series, quantile-backed summaries, and the dynamic pipeline gauges —
+// while the default JSON view keeps its flat panel keys.
+func TestMetricszPromFormat(t *testing.T) {
+	agent := NewAgent(AgentConfig{ID: "prom"})
+	defer agent.Close()
+	if err := agent.CreateStream("flows", StreamConfig{Stat: "f0", P: 0.5, Presampled: true, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(agent.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/streams/flows/ingest", "text/plain", strings.NewReader("1\n2\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metricsz?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# HELP ingest_items items ingested, by stream\n",
+		"# TYPE ingest_items counter\n",
+		`ingest_items{stream="flows"} 3` + "\n",
+		"# TYPE ingest_decode_seconds summary\n",
+		`ingest_decode_seconds{quantile="0.99"}`,
+		"ingest_decode_seconds_count 1\n",
+		`agent_pipeline_queue_cap{stream="flows"}`,
+		`agent_stream_fed{stream="flows"} 3` + "\n",
+		"# TYPE agent_pipeline_queue_len gauge\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// The default JSON view keeps the flat expvar-era keys.
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var panel map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&panel); err != nil {
+		t.Fatal(err)
+	}
+	if panel["ingest_items"] != 3.0 || panel["ingest_requests"] != 1.0 {
+		t.Fatalf("flat JSON keys missing: ingest_items=%v ingest_requests=%v",
+			panel["ingest_items"], panel["ingest_requests"])
+	}
+
+	// The pprof suite is mounted on the daemon's own mux.
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+}
+
+// TestCollectorStalenessGauges drives the fake clock past the max age
+// for one of two agents and checks the per-agent and per-stream gauges.
+func TestCollectorStalenessGauges(t *testing.T) {
+	now := time.Unix(1000, 0)
+	collector := NewCollector(CollectorConfig{
+		MaxSummaryAge: 40 * time.Second,
+		Now:           func() time.Time { return now },
+	})
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 1}
+	if err := collector.Accept(f0Summary("a", "flows", cfg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if err := collector.Accept(f0Summary("b", "flows", cfg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(20 * time.Second) // a: 50s old (stale), b: 20s old (fresh)
+
+	ts := httptest.NewServer(collector.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var panel map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&panel); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`collector_agent_last_seen_age_seconds{agent="a",stream="flows"}`: 50,
+		`collector_agent_last_seen_age_seconds{agent="b",stream="flows"}`: 20,
+		`collector_agent_stale{agent="a",stream="flows"}`:                 1,
+		`collector_agent_stale{agent="b",stream="flows"}`:                 0,
+		`collector_agents{stream="flows"}`:                                2,
+		`collector_stale_agents{stream="flows"}`:                          1,
+	}
+	for key, v := range want {
+		if got := panel[key]; got != v {
+			t.Errorf("%s = %v, want %v", key, got, v)
+		}
+	}
+}
+
+// TestFlushFoldTrace is the tentpole's end-to-end check: two agents
+// flush to one collector, and the shipment appears as a "ship" span in
+// each agent's tracez ring and a matching "fold" span (same trace ID) in
+// the collector's, carrying the decode/fold timings and a non-negative
+// end-to-end latency.
+func TestFlushFoldTrace(t *testing.T) {
+	collector := NewCollector(CollectorConfig{})
+	cts := httptest.NewServer(collector.Handler())
+	defer cts.Close()
+
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Presampled: true, Shards: 2}
+	shipped := make(map[uint64]string) // trace id -> agent
+	for _, id := range []string{"a1", "a2"} {
+		agent := NewAgent(AgentConfig{ID: id, Upstream: cts.URL})
+		defer agent.Close()
+		if err := agent.CreateStream("flows", cfg); err != nil {
+			t.Fatal(err)
+		}
+		ats := httptest.NewServer(agent.Handler())
+		defer ats.Close()
+		resp, err := http.Post(ats.URL+"/v1/streams/flows/ingest", "text/plain", strings.NewReader("1\n2\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if _, err := agent.FlushAll(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+
+		// The agent's own ring has the ship leg.
+		resp, err = http.Get(ats.URL + "/debug/tracez")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ring struct {
+			Total int        `json:"total"`
+			Spans []obs.Span `json:"spans"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(ring.Spans) != 1 {
+			t.Fatalf("agent %s: %d ship spans, want 1", id, len(ring.Spans))
+		}
+		s := ring.Spans[0]
+		if s.Stage != "ship" || s.Agent != id || s.Stream != "flows" || s.TraceID == 0 ||
+			s.Err != "" || s.Bytes <= 0 || s.SnapshotNs < 0 || s.PostNs <= 0 {
+			t.Fatalf("agent %s ship span: %+v", id, s)
+		}
+		if _, dup := shipped[s.TraceID]; dup {
+			t.Fatalf("trace id %d reused across agents", s.TraceID)
+		}
+		shipped[s.TraceID] = id
+	}
+
+	// The collector's ring has a matching fold leg per shipment.
+	resp, err := http.Get(cts.URL + "/debug/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ring struct {
+		Total int        `json:"total"`
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring.Spans) != 2 {
+		t.Fatalf("collector: %d fold spans, want 2: %+v", len(ring.Spans), ring.Spans)
+	}
+	for _, s := range ring.Spans {
+		agentID, ok := shipped[s.TraceID]
+		if !ok {
+			t.Fatalf("fold span with unknown trace id: %+v", s)
+		}
+		if s.Stage != "fold" || s.Agent != agentID || s.Stream != "flows" ||
+			s.Err != "" || s.Bytes <= 0 || s.DecodeNs < 0 || s.FoldNs < 0 || s.E2ENs < 0 {
+			t.Fatalf("fold span: %+v", s)
+		}
+	}
+	if collector.Metrics().CollectFold.Count() != 2 || collector.Metrics().CollectDecode.Count() != 2 {
+		t.Fatalf("fold/decode histograms: %d/%d observations, want 2/2",
+			collector.Metrics().CollectFold.Count(), collector.Metrics().CollectDecode.Count())
+	}
+}

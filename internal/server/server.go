@@ -3,67 +3,15 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
-
-// Metrics is the daemon's expvar instrument panel. The vars live in an
-// unregistered expvar.Map (not the process-global registry), so multiple
-// daemons — e.g. an agent fleet inside one test binary — never collide.
-type Metrics struct {
-	vars *expvar.Map
-
-	IngestRequests  *expvar.Int
-	IngestItems     *expvar.Int
-	IngestErrors    *expvar.Int
-	EstimateQueries *expvar.Int
-	SummariesOut    *expvar.Int
-	ShipErrors      *expvar.Int
-	SummariesIn     *expvar.Int
-	CollectRejects  *expvar.Int
-}
-
-// newMetrics builds an instrument panel.
-func newMetrics() *Metrics {
-	m := &Metrics{vars: new(expvar.Map).Init()}
-	add := func(name string) *expvar.Int {
-		v := new(expvar.Int)
-		m.vars.Set(name, v)
-		return v
-	}
-	m.IngestRequests = add("ingest_requests")
-	m.IngestItems = add("ingest_items")
-	m.IngestErrors = add("ingest_errors")
-	m.EstimateQueries = add("estimate_queries")
-	m.SummariesOut = add("summaries_shipped")
-	m.ShipErrors = add("ship_errors")
-	m.SummariesIn = add("summaries_received")
-	m.CollectRejects = add("summaries_rejected")
-	return m
-}
-
-// handler serves the panel as JSON, expvar-style.
-func (m *Metrics) handler(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, m.vars.String())
-}
-
-// addOps registers the operational endpoints shared by both roles.
-func addOps(mux *http.ServeMux, role string, m *Metrics) {
-	start := time.Now()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"role":   role,
-			"uptime": time.Since(start).Round(time.Millisecond).String(),
-		})
-	})
-	mux.HandleFunc("GET /metricsz", m.handler)
-}
 
 // writeJSON writes v as a JSON response.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -83,6 +31,54 @@ const maxIngestBytes = 64 << 20
 
 // maxSummaryBytes bounds one shipped summary envelope.
 const maxSummaryBytes = 256 << 20
+
+// discardLogger is the default when a role is built without a Logger:
+// structured logging is opt-in, matching the old nil-Logf behavior.
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// reqSeq numbers requests across all daemon instances in the process;
+// the id is only a correlation handle, so a shared sequence is fine
+// (and makes ids unique across an in-process agent+collector pair).
+var reqSeq atomic.Uint64
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestLog wraps a handler with request-scoped structured
+// logging: every request gets a process-unique id (echoed in the
+// X-Request-Id response header so operators can grep a failing call
+// back to the log), and completion is logged at Debug with method,
+// path, status, and duration. The Enabled check comes first so a
+// disabled Debug level pays neither the attr boxing nor the status
+// capture — the ingest hot path sees only the id header.
+func withRequestLog(logger *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqSeq.Add(1)
+		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+		if !logger.Enabled(r.Context(), slog.LevelDebug) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		logger.Debug("http request",
+			"req_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start),
+		)
+	})
+}
 
 // Server wraps an http.Server with explicit startup (so callers learn
 // the bound address) and graceful shutdown — the skeleton cmd/substreamd

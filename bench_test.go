@@ -407,7 +407,11 @@ func BenchmarkDecodeQuantile(b *testing.B) { benchmarkDecode(b, "quantile") }
 // sampling, estimator update. One op is one 4096-item batch over a real
 // (loopback) connection; bytes/sec is raw item payload throughput.
 func benchmarkServerIngest(b *testing.B, contentType string, encode func(stream.Slice) []byte) {
-	agent := server.NewAgent(server.AgentConfig{ID: "bench"})
+	benchmarkServerIngestObs(b, contentType, encode, 0)
+}
+
+func benchmarkServerIngestObs(b *testing.B, contentType string, encode func(stream.Slice) []byte, obsSampleEvery int) {
+	agent := server.NewAgent(server.AgentConfig{ID: "bench", ObsSampleEvery: obsSampleEvery})
 	defer agent.Close()
 	if err := agent.CreateStream("traffic", server.StreamConfig{
 		Stat: "fk", K: 2, P: 0.05, Seed: 9, Exact: true, Shards: 4, Batch: 1024, SampleSeed: 7,
@@ -456,6 +460,20 @@ func BenchmarkServerIngest(b *testing.B) {
 			}
 			return sb.Bytes()
 		})
+	})
+	// The ablation for histogram sampling: identical to binary but with
+	// ObsSampleEvery 1, i.e. every request pays the decode/feed clock
+	// reads and histogram inserts the default configuration samples
+	// 1-in-64. The binary/obs-unsampled delta is the instrumentation tax
+	// the sampler removes.
+	b.Run("binary-obs-unsampled", func(b *testing.B) {
+		benchmarkServerIngestObs(b, server.ContentTypeBinary, func(items stream.Slice) []byte {
+			buf := make([]byte, 8*len(items))
+			for i, it := range items {
+				binary.LittleEndian.PutUint64(buf[i*8:], uint64(it))
+			}
+			return buf
+		}, 1)
 	})
 }
 

@@ -1,20 +1,35 @@
-// Command benchcompare renders the throughput delta between two
+// Command benchcompare renders the throughput delta between
 // BENCH_<sha>.json artifacts (the test2json benchmark trajectory CI
 // uploads per commit) as a Markdown table, benchstat-style: one row per
 // benchmark present in both files, with ns/op and MB/s deltas.
 //
-// It is the comparison half of CI's warn-only bench-compare step: the
-// workflow downloads the base commit's artifact, runs
+// It is the comparison half of CI's bench steps. The cross-machine
+// PR-base comparison stays warn-only:
 //
 //	benchcompare BENCH_base.json BENCH_head.json >> "$GITHUB_STEP_SUMMARY"
 //
-// and never fails the job on a regression — machine noise across
-// shared runners makes a red gate flaky; the table makes the trajectory
-// visible instead. Exit status is non-zero only for unreadable input.
+// while the same-benchmark ingest gate runs it in failing mode against
+// the committed baseline:
 //
-// The -threshold flag (percent, default 5) hides rows whose ns/op moved
-// less than the threshold, keeping the summary focused on real shifts;
-// pass -threshold 0 to list everything.
+//	go test -bench ServerIngest -count 3 -json . > head.json
+//	benchcompare -best-of -match ServerIngest -max-regression 10 \
+//	  bench/BENCH_pr8.json head.json
+//
+// Flags:
+//
+//   - -threshold (percent, default 5) hides rows whose ns/op moved less
+//     than the threshold; -threshold 0 lists everything.
+//   - -best-of keeps the LOWEST ns/op seen per benchmark instead of the
+//     last, so a `-count N` run (or several head files) gates on the
+//     best of N — the noise-robust statistic for a shared runner.
+//   - -match compares only benchmarks whose name contains the substring.
+//   - -max-regression (percent, default 0 = disabled) exits with status
+//     3 when any compared benchmark's ns/op regressed by more than the
+//     bound — the red-gate mode.
+//
+// More than two files may be given: every file after the first is a
+// head artifact, merged (last-wins, or best-of under -best-of). Exit
+// status: 0 ok, 1 unreadable input, 2 usage, 3 regression gate tripped.
 package main
 
 import (
@@ -45,34 +60,90 @@ type testEvent struct {
 
 func main() {
 	threshold := flag.Float64("threshold", 5, "hide rows whose ns/op changed by less than this percentage (0 = show all)")
+	bestOf := flag.Bool("best-of", false, "keep the lowest ns/op per benchmark across repeated results (-count runs, multiple head files) instead of the last")
+	match := flag.String("match", "", "compare only benchmarks whose name contains this substring")
+	maxReg := flag.Float64("max-regression", 0, "exit 3 if any compared benchmark's ns/op regressed by more than this percentage (0 = never fail)")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcompare [-threshold pct] BASE.json HEAD.json")
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [flags] BASE.json HEAD.json [HEAD2.json ...]")
 		os.Exit(2)
 	}
-	base, err := parseFile(flag.Arg(0))
+	base, err := parseFile(flag.Arg(0), *bestOf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(1)
 	}
-	head, err := parseFile(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcompare:", err)
-		os.Exit(1)
+	head := make(map[string]benchResult)
+	for _, path := range flag.Args()[1:] {
+		h, err := parseFile(path, *bestOf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare:", err)
+			os.Exit(1)
+		}
+		for name, res := range h {
+			merge(head, name, res, *bestOf)
+		}
 	}
+	filter(base, *match)
+	filter(head, *match)
 	if err := render(os.Stdout, base, head, *threshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(1)
 	}
+	if *maxReg > 0 {
+		if failed := gate(base, head, *maxReg); len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcompare: regression gate (> %g%% ns/op): %s\n",
+				*maxReg, strings.Join(failed, ", "))
+			os.Exit(3)
+		}
+	}
 }
 
-func parseFile(path string) (map[string]benchResult, error) {
+func parseFile(path string, bestOf bool) (map[string]benchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return parse(f)
+	return parse(f, bestOf)
+}
+
+// merge folds one result into out: last-wins normally, lowest ns/op
+// under best-of.
+func merge(out map[string]benchResult, name string, res benchResult, bestOf bool) {
+	if prev, ok := out[name]; bestOf && ok && prev.NsPerOp <= res.NsPerOp {
+		return
+	}
+	out[name] = res
+}
+
+// filter drops benchmarks whose name does not contain match.
+func filter(m map[string]benchResult, match string) {
+	if match == "" {
+		return
+	}
+	for name := range m {
+		if !strings.Contains(name, match) {
+			delete(m, name)
+		}
+	}
+}
+
+// gate returns the names of benchmarks whose ns/op regressed by more
+// than maxReg percent, sorted.
+func gate(base, head map[string]benchResult, maxReg float64) []string {
+	var failed []string
+	for name, h := range head {
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if delta := (h.NsPerOp - b.NsPerOp) / b.NsPerOp * 100; delta > maxReg {
+			failed = append(failed, fmt.Sprintf("%s %+.1f%%", name, delta))
+		}
+	}
+	sort.Strings(failed)
+	return failed
 }
 
 // parse extracts benchmark results from a test2json stream. go test
@@ -86,7 +157,9 @@ func parseFile(path string) (map[string]benchResult, error) {
 // while top-level benchmarks (and raw, non-JSON `go test` output, which
 // is accepted too so local runs compare without CI) put name and
 // metrics on one `Benchmark... ns/op` line. Both shapes are parsed.
-func parse(r io.Reader) (map[string]benchResult, error) {
+// Repeated results for one name (a -count run) keep the last, or the
+// lowest ns/op under bestOf.
+func parse(r io.Reader, bestOf bool) (map[string]benchResult, error) {
 	out := make(map[string]benchResult)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
@@ -105,12 +178,12 @@ func parse(r io.Reader) (map[string]benchResult, error) {
 			test = ev.Test
 		}
 		if name, res, ok := parseBenchLine(line); ok {
-			out[name] = res
+			merge(out, name, res, bestOf)
 			continue
 		}
 		if test != "" && strings.HasPrefix(test, "Benchmark") {
 			if res, ok := parseMetrics(strings.Fields(line)); ok {
-				out[test] = res
+				merge(out, test, res, bestOf)
 			}
 		}
 	}
@@ -169,7 +242,7 @@ func render(w io.Writer, base, head map[string]benchResult, threshold float64) e
 		}
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "### Benchmark comparison (warn-only)\n\n")
+	fmt.Fprintf(w, "### Benchmark comparison\n\n")
 	if len(names) == 0 {
 		fmt.Fprintf(w, "No benchmarks common to both artifacts.\n")
 		return nil
@@ -196,7 +269,7 @@ func render(w io.Writer, base, head map[string]benchResult, threshold float64) e
 		fmt.Fprintf(&rows, "| %s | %.4g | %.4g | %+.1f%% | %s |\n",
 			strings.TrimPrefix(name, "Benchmark"), b.NsPerOp, h.NsPerOp, delta, mbs)
 	}
-	fmt.Fprintf(w, "%d benchmarks compared, %d moved ≥ %g%% (slower-than-threshold: %d; noise on shared runners — informational only).\n\n",
+	fmt.Fprintf(w, "%d benchmarks compared, %d moved ≥ %g%% (slower-than-threshold: %d).\n\n",
 		len(names), shown, threshold, regressions)
 	if shown > 0 {
 		fmt.Fprintf(w, "| benchmark | base ns/op | head ns/op | Δ ns/op | MB/s |\n")

@@ -18,7 +18,7 @@ const headJSON = `{"Action":"output","Package":"substream","Output":"BenchmarkHo
 `
 
 func TestParseTest2JSON(t *testing.T) {
-	base, err := parse(strings.NewReader(baseJSON))
+	base, err := parse(strings.NewReader(baseJSON), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestParseSplitSubBenchmark(t *testing.T) {
 {"Action":"output","Test":"BenchmarkHotPath/kmv/batch64","Output":"BenchmarkHotPath/kmv/batch64\n"}
 {"Action":"output","Test":"BenchmarkHotPath/kmv/batch64","Output":"  404896\t      1310 ns/op\t 390.81 MB/s\t        20.47 ns/item\t       0 B/op\t       0 allocs/op\n"}
 `
-	got, err := parse(strings.NewReader(split))
+	got, err := parse(strings.NewReader(split), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestParseSplitSubBenchmark(t *testing.T) {
 
 func TestParsePlainBenchOutput(t *testing.T) {
 	raw := "goos: linux\nBenchmarkX-2 \t 100 \t 250.5 ns/op\t 12.3 MB/s\nPASS\n"
-	got, err := parse(strings.NewReader(raw))
+	got, err := parse(strings.NewReader(raw), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,8 +66,8 @@ func TestParsePlainBenchOutput(t *testing.T) {
 }
 
 func TestRenderComparison(t *testing.T) {
-	base, _ := parse(strings.NewReader(baseJSON))
-	head, _ := parse(strings.NewReader(headJSON))
+	base, _ := parse(strings.NewReader(baseJSON), false)
+	head, _ := parse(strings.NewReader(headJSON), false)
 	var sb strings.Builder
 	if err := render(&sb, base, head, 5); err != nil {
 		t.Fatal(err)
@@ -89,9 +89,97 @@ func TestRenderComparison(t *testing.T) {
 	}
 }
 
+// TestParseBestOf pins the -best-of semantics: a -count run emits the
+// same benchmark several times, and best-of keeps the lowest ns/op (the
+// noise-robust statistic on a shared runner), where the default keeps
+// the last.
+func TestParseBestOf(t *testing.T) {
+	counted := "BenchmarkIngest-4 \t 10 \t 300 ns/op\t 100 MB/s\n" +
+		"BenchmarkIngest-4 \t 10 \t 200 ns/op\t 150 MB/s\n" +
+		"BenchmarkIngest-4 \t 10 \t 250 ns/op\t 120 MB/s\n"
+	last, err := parse(strings.NewReader(counted), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := last["BenchmarkIngest"]; res.NsPerOp != 250 {
+		t.Fatalf("default must keep the last result, got %+v", res)
+	}
+	best, err := parse(strings.NewReader(counted), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := best["BenchmarkIngest"]; res.NsPerOp != 200 || res.MBPerS != 150 {
+		t.Fatalf("best-of must keep the lowest ns/op with its MB/s, got %+v", res)
+	}
+}
+
+// TestMergeAcrossFiles covers the multi-head-file shape: each file after
+// the base is parsed separately and folded together, best-of keeping the
+// per-benchmark minimum across files.
+func TestMergeAcrossFiles(t *testing.T) {
+	head := map[string]benchResult{}
+	for _, run := range []string{
+		"BenchmarkIngest-4 \t 10 \t 280 ns/op\n",
+		"BenchmarkIngest-4 \t 10 \t 210 ns/op\nBenchmarkOther-4 \t 10 \t 50 ns/op\n",
+		"BenchmarkIngest-4 \t 10 \t 260 ns/op\n",
+	} {
+		h, err := parse(strings.NewReader(run), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, res := range h {
+			merge(head, name, res, true)
+		}
+	}
+	if res := head["BenchmarkIngest"]; res.NsPerOp != 210 {
+		t.Fatalf("merge must keep the minimum across files, got %+v", res)
+	}
+	if res := head["BenchmarkOther"]; res.NsPerOp != 50 {
+		t.Fatalf("benchmarks present in one file must survive the merge, got %+v", res)
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	m := map[string]benchResult{
+		"BenchmarkServerIngest/binary": {NsPerOp: 1},
+		"BenchmarkServerIngest/text":   {NsPerOp: 2},
+		"BenchmarkHotPath/kmv":         {NsPerOp: 3},
+	}
+	filter(m, "ServerIngest")
+	if len(m) != 2 {
+		t.Fatalf("filter kept %d benchmarks, want the 2 ServerIngest ones: %v", len(m), m)
+	}
+	filter(m, "")
+	if len(m) != 2 {
+		t.Fatalf("empty match must be a no-op, got %v", m)
+	}
+}
+
+// TestGate pins the red-gate contract: only regressions beyond the bound
+// fail, improvements and benchmarks missing from the base never do.
+func TestGate(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchmarkIngest": {NsPerOp: 100},
+		"BenchmarkOther":  {NsPerOp: 100},
+	}
+	head := map[string]benchResult{
+		"BenchmarkIngest":  {NsPerOp: 109}, // +9%: inside a 10% bound
+		"BenchmarkOther":   {NsPerOp: 90},  // improvement
+		"BenchmarkNewOnly": {NsPerOp: 999}, // no baseline, cannot gate
+	}
+	if failed := gate(base, head, 10); len(failed) != 0 {
+		t.Fatalf("within-bound head must pass the gate, got %v", failed)
+	}
+	head["BenchmarkIngest"] = benchResult{NsPerOp: 125}
+	failed := gate(base, head, 10)
+	if len(failed) != 1 || !strings.Contains(failed[0], "BenchmarkIngest") || !strings.Contains(failed[0], "+25.0%") {
+		t.Fatalf("25%% regression must trip a 10%% gate with its delta, got %v", failed)
+	}
+}
+
 func TestRenderThresholdHidesNoise(t *testing.T) {
-	base, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 100 ns/op` + "\n"))
-	head, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 101 ns/op` + "\n"))
+	base, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 100 ns/op`+"\n"), false)
+	head, _ := parse(strings.NewReader(`BenchmarkSame-1 	 10 	 101 ns/op`+"\n"), false)
 	var sb strings.Builder
 	if err := render(&sb, base, head, 5); err != nil {
 		t.Fatal(err)

@@ -54,6 +54,7 @@ type options struct {
 	window        int
 	epoch         time.Duration
 	maxSummaryAge time.Duration
+	obsSample     int
 	logLevel      string
 	logFormat     string
 	list          bool
@@ -71,6 +72,7 @@ func main() {
 	flag.IntVar(&opt.window, "window", 0, "default window span in epochs for streams that set none (agent mode; 0 = cumulative only)")
 	flag.DurationVar(&opt.epoch, "epoch", time.Minute, "default epoch duration for windowed streams that set none (agent mode)")
 	flag.DurationVar(&opt.maxSummaryAge, "max-summary-age", 0, "exclude agents whose last summary is older from global estimates (collector mode; 0 = never)")
+	flag.IntVar(&opt.obsSample, "obs-sample-every", 0, "sample ingest timing histograms one request in N; counters stay exact (agent mode; 0 = default 64, 1 = every request)")
 	flag.StringVar(&opt.logLevel, "log-level", "info", "log verbosity: debug | info | warn | error (debug includes per-request lines)")
 	flag.StringVar(&opt.logFormat, "log-format", "text", "log encoding: text | json")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list the estimator kinds streams may declare and exit")
@@ -183,6 +185,7 @@ func runAgent(ctx context.Context, opt options, w io.Writer, logger *slog.Logger
 		FlushInterval:        opt.flush,
 		ShutdownFlushTimeout: opt.flushTimeout,
 		Logger:               logger,
+		ObsSampleEvery:       opt.obsSample,
 	})
 	for name, cfg := range streams {
 		if err := agent.CreateStream(name, cfg); err != nil {

@@ -24,18 +24,41 @@
 //
 // # Topology
 //
-//	            ┌─ chan [][]Item ─ worker 0 ─ replica E₀ ─┐
-//	feeder ──┼─ chan [][]Item ─ worker 1 ─ replica E₁ ─┼── Merge → estimate
-//	            └─ chan [][]Item ─ worker N ─ replica E_N ┘
+//	            ┌─ SPSC ring ─ worker 0 ─ replica E₀ ─┐
+//	feeder ──┼─ SPSC ring ─ worker 1 ─ replica E₁ ─┼── Merge → estimate
+//	            └─ SPSC ring ─ worker N ─ replica E_N ┘
 //
 // The feeder accumulates items into batches of Config.BatchSize and
-// deals complete batches round-robin to per-shard channels; workers
+// deals complete batches round-robin to per-shard queues; workers
 // apply each batch through the estimator's UpdateBatch fast path (or
 // per-item Observe when the type has no batch path). With
 // Config.SampleP > 0 the pipeline ingests the ORIGINAL stream and each
 // worker Bernoulli-samples its shard locally with an independent,
 // deterministically seeded generator — the deployment of the paper's
 // sampled-NetFlow monitor, with the sampling cost spread across cores.
+//
+// Each shard queue is a bounded single-producer single-consumer ring
+// (see ring.go) rather than a channel: the feeding goroutine and the
+// shard worker exchange batches through padded atomic cursors, falling
+// back to a sync.Cond park only when the ring is actually empty or
+// full. On the uncontended fast path a hand-off is two atomic
+// operations and no lock, and push/pop allocate nothing.
+//
+// # Ownership transfer
+//
+// Feed/FeedSlice copy or re-batch their input; FeedOwned is the
+// zero-copy path. FeedOwned(items, release) transfers ownership of the
+// items slice to the pipeline: the caller must not read or write the
+// slice afterwards, and the pipeline calls release() exactly once when
+// the batch has been fully applied (or immediately, for an empty
+// slice). A pooled decoder can therefore hand chunks straight into the
+// shard queues and recycle each buffer when its release fires, with no
+// memcpy anywhere between the wire and the estimator. The chunk is
+// dispatched to one shard as a single batch — sound for the same
+// reason sharding itself is (Bernoulli sampling commutes with any
+// partitioning of the stream). Pending Feed items are flushed first,
+// so per-item and owned feeding interleave without reordering across a
+// Sync.
 //
 // # Mergeability contract
 //
@@ -45,10 +68,10 @@
 // examples/distributed). The estimators verify this at merge time and
 // return sketch.ErrIncompatible when violated.
 //
-// Feeding is single-producer: Feed/FeedSlice/FeedStream must be called
-// from one goroutine. Shard workers never share state; all
-// synchronization is channel hand-off, so the package is race-clean under
-// `go test -race`.
+// Feeding is single-producer: Feed/FeedSlice/FeedStream/FeedOwned must
+// be called from one goroutine (the SPSC rings rely on it). Shard
+// workers never share state; all synchronization is ring hand-off, so
+// the package is race-clean under `go test -race`.
 //
 // # Windowed replicas
 //

@@ -43,8 +43,9 @@ type Config struct {
 	// Larger batches amortize channel and dispatch overhead; smaller
 	// ones bound merge-time staleness. Default 1024.
 	BatchSize int
-	// QueueDepth is the number of batches buffered per shard channel
-	// before the feeder blocks (backpressure). Default 8.
+	// QueueDepth is the number of batches buffered per shard ring
+	// before the feeder blocks (backpressure). Rounded up to a power of
+	// two. Default 8.
 	QueueDepth int
 	// SampleP, when positive, makes the pipeline ingest the ORIGINAL
 	// stream: each worker Bernoulli-samples its shard at this rate
@@ -74,12 +75,15 @@ func (c Config) withDefaults() Config {
 
 // batchMsg is one unit of work. Pooled buffers are recycled by the worker
 // after application; caller-owned slices (zero-copy FeedSlice path) are
-// not touched. A message with a non-nil ack is a synchronization barrier:
-// the worker acknowledges and applies nothing.
+// not touched; FeedOwned messages carry the release callback the worker
+// invokes once the items have been applied. A message with a non-nil ack
+// is a synchronization barrier: the worker acknowledges and applies
+// nothing.
 type batchMsg struct {
-	items  []stream.Item
-	pooled bool
-	ack    chan<- struct{}
+	items   []stream.Item
+	pooled  bool
+	release func()
+	ack     chan<- struct{}
 }
 
 // keptCell is one shard's post-sampling item count, padded to a cache
@@ -97,13 +101,14 @@ type keptCell struct {
 type Pipeline[E any] struct {
 	cfg    Config
 	shards []E
-	chans  []chan batchMsg
+	rings  []*spscRing
 	wg     sync.WaitGroup
 	pool   sync.Pool
 	buf    []stream.Item
 	next   int    // round-robin cursor
 	fed    uint64 // items fed by the producer
 	kept   []keptCell
+	acks   chan struct{} // reusable Sync barrier (single-producer ⇒ no overlap)
 	closed bool
 
 	// Producer-side instrumentation, guarded by the same single-producer
@@ -124,8 +129,9 @@ func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
 	p := &Pipeline[E]{
 		cfg:    cfg,
 		shards: make([]E, cfg.Shards),
-		chans:  make([]chan batchMsg, cfg.Shards),
+		rings:  make([]*spscRing, cfg.Shards),
 		kept:   make([]keptCell, cfg.Shards),
+		acks:   make(chan struct{}, cfg.Shards),
 	}
 	p.pool.New = func() any { return make([]stream.Item, 0, cfg.BatchSize) }
 	p.buf = p.pool.Get().([]stream.Item)
@@ -134,14 +140,14 @@ func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
 	for i := 0; i < cfg.Shards; i++ {
 		p.shards[i] = newShard(i)
 		apply := applyFunc(p.shards[i])
-		p.chans[i] = make(chan batchMsg, cfg.QueueDepth)
+		p.rings[i] = newSPSCRing(cfg.QueueDepth)
 
 		var coins *rng.Xoshiro256
 		if cfg.SampleP > 0 {
 			coins = master.Split()
 		}
 		p.wg.Add(1)
-		go p.work(i, p.chans[i], apply, coins)
+		go p.work(i, p.rings[i], apply, coins)
 	}
 	return p
 }
@@ -164,7 +170,7 @@ func applyFunc(e any) func([]stream.Item) {
 
 // work is one shard worker: it owns its replica exclusively until Close
 // returns, so no locking is needed around estimator state.
-func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.Item), coins *rng.Xoshiro256) {
+func (p *Pipeline[E]) work(shard int, r *spscRing, apply func([]stream.Item), coins *rng.Xoshiro256) {
 	defer p.wg.Done()
 	var scratch []stream.Item
 	var sampler bernoulliSampler
@@ -172,7 +178,11 @@ func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.It
 		scratch = make([]stream.Item, 0, p.cfg.BatchSize)
 		sampler.init(p.cfg.SampleP, coins)
 	}
-	for msg := range ch {
+	for {
+		msg, ok := r.pop()
+		if !ok {
+			return
+		}
 		if msg.ack != nil {
 			msg.ack <- struct{}{}
 			continue
@@ -188,6 +198,10 @@ func (p *Pipeline[E]) work(shard int, ch <-chan batchMsg, apply func([]stream.It
 		}
 		if msg.pooled {
 			p.pool.Put(msg.items[:0])
+		} else if msg.release != nil {
+			// FeedOwned contract: the buffer returns to its owner only
+			// after the batch is fully applied, never before.
+			msg.release()
 		}
 	}
 }
@@ -246,9 +260,9 @@ func (s *bernoulliSampler) filter(dst, items []stream.Item) []stream.Item {
 // dispatch hands one batch to the next shard round-robin.
 func (p *Pipeline[E]) dispatch(msg batchMsg) {
 	p.batches++
-	p.chans[p.next] <- msg
+	p.rings[p.next].push(msg)
 	p.next++
-	if p.next == len(p.chans) {
+	if p.next == len(p.rings) {
 		p.next = 0
 	}
 }
@@ -319,6 +333,38 @@ func (p *Pipeline[E]) FeedCopy(items []stream.Item) {
 	}
 }
 
+// FeedOwned transfers ownership of items to the pipeline: the whole
+// chunk is dispatched as a single batch (no copy, no re-slicing), and
+// release — if non-nil — is invoked by the consuming shard worker
+// exactly once, after the last item has been applied. Until then the
+// caller must not touch the backing array; afterwards it may recycle it
+// freely. This is the zero-copy hand-off the daemon's pooled request
+// decode uses: chunks flow from the decoder into a shard with neither
+// the FeedCopy memcpy nor a per-chunk allocation.
+//
+// The chunk lands on one shard, advancing the same round-robin cursor
+// as batch dispatch; Bernoulli sampling commutes with any partitioning
+// of the stream, so chunk-granular placement preserves the sampling
+// semantics (callers control balance by their chunk size — the daemon
+// decodes in chunks a few batches long). An empty chunk releases
+// immediately and dispatches nothing.
+func (p *Pipeline[E]) FeedOwned(items stream.Slice, release func()) {
+	if p.closed {
+		panic("pipeline: FeedOwned after Close")
+	}
+	if len(items) == 0 {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	// Flush any partial hand-fed batch first to preserve stream order
+	// within each shard's view.
+	p.Flush()
+	p.fed += uint64(len(items))
+	p.dispatch(batchMsg{items: items, release: release})
+}
+
 // FeedStream ingests every item of s through the batching Feed path.
 func (p *Pipeline[E]) FeedStream(s stream.Stream) {
 	_ = s.ForEach(func(it stream.Item) error {
@@ -348,12 +394,14 @@ func (p *Pipeline[E]) Sync() {
 	}
 	p.Flush()
 	start := time.Now()
-	acks := make(chan struct{}, len(p.chans))
-	for _, ch := range p.chans {
-		ch <- batchMsg{ack: acks}
+	// The ack channel is allocated once at construction and reused:
+	// Sync runs on the single producer goroutine, so barriers never
+	// overlap and the channel is always drained on return.
+	for _, r := range p.rings {
+		r.push(batchMsg{ack: p.acks})
 	}
-	for range p.chans {
-		<-acks
+	for range p.rings {
+		<-p.acks
 	}
 	p.syncs++
 	p.syncWait += time.Since(start)
@@ -372,8 +420,8 @@ func (p *Pipeline[E]) Replicas() []E { return p.shards }
 func (p *Pipeline[E]) Close() []E {
 	if !p.closed {
 		p.Flush()
-		for _, ch := range p.chans {
-			close(ch)
+		for _, r := range p.rings {
+			r.close()
 		}
 		p.wg.Wait()
 		p.closed = true
@@ -418,7 +466,7 @@ func (p *Pipeline[E]) Kept() uint64 {
 type Stats struct {
 	Shards    int
 	BatchSize int
-	QueueCap  int // per-shard channel capacity, in batches
+	QueueCap  int // per-shard ring capacity, in batches
 
 	Fed     uint64
 	Kept    uint64
@@ -428,7 +476,7 @@ type Stats struct {
 	SyncWait time.Duration
 
 	// Queued is the number of batches currently buffered across all
-	// shard channels — pipeline depth; QueueCap*Shards is the ceiling
+	// shard rings — pipeline depth; QueueCap*Shards is the ceiling
 	// at which the producer blocks.
 	Queued int
 }
@@ -436,27 +484,27 @@ type Stats struct {
 // Stats reads the snapshot. Like Feed and Fed it participates in the
 // single-producer discipline: call it from the feeding goroutine or
 // under whatever lock serializes feeding (the daemon holds its runner
-// mutex). Queued and Kept are always safe; they read channel lengths
+// mutex). Queued and Kept are always safe; they read ring cursors
 // and atomics.
 func (p *Pipeline[E]) Stats() Stats {
 	s := Stats{
-		Shards:    len(p.chans),
+		Shards:    len(p.rings),
 		BatchSize: p.cfg.BatchSize,
-		QueueCap:  p.cfg.QueueDepth,
+		QueueCap:  p.rings[0].cap(),
 		Fed:       p.fed,
 		Kept:      p.Kept(),
 		Batches:   p.batches,
 		Syncs:     p.syncs,
 		SyncWait:  p.syncWait,
 	}
-	for _, ch := range p.chans {
-		s.Queued += len(ch)
+	for _, r := range p.rings {
+		s.Queued += r.len()
 	}
 	return s
 }
 
 // NumShards returns the shard count.
-func (p *Pipeline[E]) NumShards() int { return len(p.chans) }
+func (p *Pipeline[E]) NumShards() int { return len(p.rings) }
 
 // MergeAll closes the pipeline and folds every shard replica into the
 // first via the type's own Merge method.

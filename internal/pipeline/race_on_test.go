@@ -1,0 +1,9 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds bookkeeping allocations that would fail the
+// strict zero-alloc assertions, and stress iteration counts are scaled
+// down to keep -race runs fast.
+const raceEnabled = true

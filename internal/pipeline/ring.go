@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// spscRing is the per-shard work queue: a bounded single-producer /
+// single-consumer ring buffer of batch messages. The hot path is two
+// atomic loads and one atomic store per push or pop — no mutex, no
+// channel machinery, no allocation — with head and tail on separate
+// cache lines so the producer's and consumer's cursors never invalidate
+// each other. When the ring runs empty (consumer) or full (producer)
+// the affected side parks on a sync.Cond, the portable stand-in for a
+// futex wait; the opposite side checks a parked flag after every cursor
+// move and wakes it, so the condvar cost is paid only at the
+// empty/full edges, never in steady state.
+//
+// The single-producer discipline is the Pipeline's existing feeding
+// contract; the single consumer is the shard worker. Nothing else may
+// touch the cursors.
+type spscRing struct {
+	buf  []batchMsg
+	mask uint64
+
+	_    [64]byte // keep the cursors off the buf header's line and apart
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+
+	// Edge-case parking. The flags are set under mu before re-checking
+	// the cursor condition, and read (atomically, outside mu) by the
+	// opposite side after it moves its cursor; sequentially consistent
+	// atomics make the classic flag/recheck handshake lossless — if the
+	// mover misses the flag, the parker's recheck sees the moved cursor.
+	mu             sync.Mutex
+	notEmpty       sync.Cond
+	notFull        sync.Cond
+	consumerParked atomic.Bool
+	producerParked atomic.Bool
+	closed         atomic.Bool
+}
+
+// newSPSCRing builds a ring with capacity ≥ depth, rounded up to a
+// power of two for mask indexing.
+func newSPSCRing(depth int) *spscRing {
+	capacity := 1
+	for capacity < depth {
+		capacity <<= 1
+	}
+	r := &spscRing{
+		buf:  make([]batchMsg, capacity),
+		mask: uint64(capacity - 1),
+	}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// cap returns the ring capacity in messages.
+func (r *spscRing) cap() int { return len(r.buf) }
+
+// len returns the current occupancy. Safe to call from any goroutine;
+// the value is a racy snapshot, like reading a channel's len.
+func (r *spscRing) len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// push enqueues one message, blocking while the ring is full.
+// Producer-side only.
+func (r *spscRing) push(msg batchMsg) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t&r.mask] = msg
+			r.tail.Store(t + 1)
+			if r.consumerParked.Load() {
+				r.mu.Lock()
+				r.consumerParked.Store(false)
+				r.notEmpty.Broadcast()
+				r.mu.Unlock()
+			}
+			return
+		}
+		r.mu.Lock()
+		r.producerParked.Store(true)
+		if r.tail.Load()-r.head.Load() == uint64(len(r.buf)) {
+			r.notFull.Wait()
+		}
+		r.producerParked.Store(false)
+		r.mu.Unlock()
+	}
+}
+
+// pop dequeues one message, blocking while the ring is empty. It
+// returns ok == false only once the ring is closed AND drained — the
+// worker's exit signal, matching a closed channel's semantics.
+// Consumer-side only.
+func (r *spscRing) pop() (batchMsg, bool) {
+	for {
+		h := r.head.Load()
+		if h != r.tail.Load() {
+			msg := r.buf[h&r.mask]
+			r.buf[h&r.mask] = batchMsg{} // release slice/closure refs to GC
+			r.head.Store(h + 1)
+			if r.producerParked.Load() {
+				r.mu.Lock()
+				r.producerParked.Store(false)
+				r.notFull.Broadcast()
+				r.mu.Unlock()
+			}
+			return msg, true
+		}
+		if r.closed.Load() {
+			return batchMsg{}, false
+		}
+		r.mu.Lock()
+		r.consumerParked.Store(true)
+		if r.head.Load() == r.tail.Load() && !r.closed.Load() {
+			r.notEmpty.Wait()
+		}
+		r.consumerParked.Store(false)
+		r.mu.Unlock()
+	}
+}
+
+// close marks the ring closed and wakes a parked consumer so it can
+// drain the remaining messages and exit. Producer-side only; messages
+// already enqueued are still delivered.
+func (r *spscRing) close() {
+	r.closed.Store(true)
+	r.mu.Lock()
+	r.notEmpty.Broadcast()
+	r.mu.Unlock()
+}

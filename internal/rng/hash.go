@@ -134,6 +134,30 @@ func Mod61(x uint64) uint64 {
 	return s
 }
 
+// Mod61Lanes4 reduces four 64-bit values into the field at once,
+// bit-identical to four Mod61 calls. The four folds carry no data
+// dependencies on one another, so the CPU overlaps their shift/mask/add
+// chains — the reduction half of the 4-lane batch kernels.
+func Mod61Lanes4(x0, x1, x2, x3 uint64) (r0, r1, r2, r3 uint64) {
+	s0 := (x0 >> 61) + (x0 & mersenne61)
+	s1 := (x1 >> 61) + (x1 & mersenne61)
+	s2 := (x2 >> 61) + (x2 & mersenne61)
+	s3 := (x3 >> 61) + (x3 & mersenne61)
+	if s0 >= mersenne61 {
+		s0 -= mersenne61
+	}
+	if s1 >= mersenne61 {
+		s1 -= mersenne61
+	}
+	if s2 >= mersenne61 {
+		s2 -= mersenne61
+	}
+	if s3 >= mersenne61 {
+		s3 -= mersenne61
+	}
+	return s0, s1, s2, s3
+}
+
 // Hash2 is the specialized degree-1 polynomial kernel h(x) = A·x + B over
 // GF(2^61−1): the pairwise-independent hash every bucket-choice and
 // universe-sampling site uses, stored as two plain words so sketches can
@@ -187,6 +211,42 @@ func (h Hash2) Unit(x uint64) float64 {
 	return (float64(h.Hash(x)) + 1) / float64(mersenne61)
 }
 
+// EvalLanes4 evaluates the kernel at four already-reduced inputs,
+// bit-identical to four Eval calls. The lanes share only the read-only
+// coefficients, so their multiply-reduce chains are independent and the
+// CPU pipelines them — the per-row inner step of the 4-lane batch loops
+// in internal/sketch.
+func (h Hash2) EvalLanes4(x0, x1, x2, x3 uint64) (r0, r1, r2, r3 uint64) {
+	hi0, lo0 := mul64(h.A, x0)
+	hi1, lo1 := mul64(h.A, x1)
+	hi2, lo2 := mul64(h.A, x2)
+	hi3, lo3 := mul64(h.A, x3)
+	m0 := foldmul61(hi0, lo0)
+	m1 := foldmul61(hi1, lo1)
+	m2 := foldmul61(hi2, lo2)
+	m3 := foldmul61(hi3, lo3)
+	return addmod61(m0, h.B), addmod61(m1, h.B), addmod61(m2, h.B), addmod61(m3, h.B)
+}
+
+// HashLanes4 evaluates the kernel at four arbitrary 64-bit inputs,
+// folding the Mod61 reduction into the lane evaluation — bit-identical
+// to four Hash calls.
+func (h Hash2) HashLanes4(x0, x1, x2, x3 uint64) (r0, r1, r2, r3 uint64) {
+	x0, x1, x2, x3 = Mod61Lanes4(x0, x1, x2, x3)
+	return h.EvalLanes4(x0, x1, x2, x3)
+}
+
+// foldmul61 completes a widening multiply's reduction mod 2^61−1 — the
+// tail of mulmod61 with the bits.Mul64 already done, so lane kernels can
+// issue all four multiplies before any reduction.
+func foldmul61(hi, lo uint64) uint64 {
+	s := (lo & mersenne61) + (hi<<3 | lo>>61)
+	if s >= mersenne61 {
+		s -= mersenne61
+	}
+	return s
+}
+
 // Hash4 is the specialized degree-3 polynomial kernel — the 4-wise
 // independent sign hash of CountSketch and AMS — with the Horner loop
 // fully unrolled over four plain words. Bit-identical to
@@ -237,6 +297,33 @@ func (h Hash4) Eval(x uint64) uint64 {
 // Sign maps x to ±1 from the hash's low bit, like PolyHash.Sign.
 func (h Hash4) Sign(x uint64) int {
 	return int(h.Hash(x)&1)*2 - 1
+}
+
+// EvalLanes4 evaluates the kernel at four already-reduced inputs,
+// bit-identical to four Eval calls. Each Horner step issues the four
+// lanes' multiplies back to back before reducing, so the three-step
+// dependency chain of one lane overlaps the others'.
+func (h Hash4) EvalLanes4(x0, x1, x2, x3 uint64) (r0, r1, r2, r3 uint64) {
+	a0 := addmod61(mulmod61(h.C3, x0), h.C2)
+	a1 := addmod61(mulmod61(h.C3, x1), h.C2)
+	a2 := addmod61(mulmod61(h.C3, x2), h.C2)
+	a3 := addmod61(mulmod61(h.C3, x3), h.C2)
+	a0 = addmod61(mulmod61(a0, x0), h.C1)
+	a1 = addmod61(mulmod61(a1, x1), h.C1)
+	a2 = addmod61(mulmod61(a2, x2), h.C1)
+	a3 = addmod61(mulmod61(a3, x3), h.C1)
+	a0 = addmod61(mulmod61(a0, x0), h.C0)
+	a1 = addmod61(mulmod61(a1, x1), h.C0)
+	a2 = addmod61(mulmod61(a2, x2), h.C0)
+	a3 = addmod61(mulmod61(a3, x3), h.C0)
+	return a0, a1, a2, a3
+}
+
+// HashLanes4 evaluates the kernel at four arbitrary 64-bit inputs,
+// folding the Mod61 reduction in — bit-identical to four Hash calls.
+func (h Hash4) HashLanes4(x0, x1, x2, x3 uint64) (r0, r1, r2, r3 uint64) {
+	x0, x1, x2, x3 = Mod61Lanes4(x0, x1, x2, x3)
+	return h.EvalLanes4(x0, x1, x2, x3)
 }
 
 // Range maps 61-bit field hashes to [0, n) with Lemire's multiply-shift

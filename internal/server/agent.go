@@ -41,6 +41,14 @@ type AgentConfig struct {
 	// Info, flush failures at Warn, per-request lines at Debug). Nil
 	// discards them.
 	Logger *slog.Logger
+	// ObsSampleEvery samples the per-request ingest timing histograms
+	// (ingest_decode, shard_feed) one request in N: unsampled requests
+	// skip the clock reads and the histogram inserts entirely, keeping
+	// the mutex-plus-quantile cost off the hot path. Uniform sampling
+	// leaves the quantiles unbiased; the exact counters
+	// (requests, items, bytes, errors) are never sampled. 1 observes
+	// every request; 0 means the default of 64.
+	ObsSampleEvery int
 }
 
 // Agent is the monitoring daemon's ingest role: a registry of named
@@ -52,6 +60,7 @@ type Agent struct {
 	boot     uint64 // process-incarnation marker carried by every Summary
 	metrics  *Metrics
 	traceSeq atomic.Uint64 // per-process flush counter feeding trace IDs
+	obsTick  atomic.Uint64 // ingest-request counter driving timing-sample selection
 
 	mu      sync.RWMutex
 	streams map[string]*agentStream
@@ -90,6 +99,9 @@ func NewAgent(cfg AgentConfig) *Agent {
 	}
 	if cfg.ShutdownFlushTimeout <= 0 {
 		cfg.ShutdownFlushTimeout = 5 * time.Second
+	}
+	if cfg.ObsSampleEvery <= 0 {
+		cfg.ObsSampleEvery = 64
 	}
 	if cfg.Client == nil {
 		// The default client's timeout must not silently cap an
@@ -328,22 +340,40 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, maxIngestBytes)}
-	start := time.Now()
+	// One timing coin per request covers both histograms: unsampled
+	// requests skip every clock read as well as the mutex-guarded
+	// quantile inserts. The exact counters below are never sampled.
+	sampled := (a.obsTick.Add(1)-1)%uint64(a.cfg.ObsSampleEvery) == 0
+	var start time.Time
+	var feed time.Duration
+	if sampled {
+		start = time.Now()
+	}
 	if isBinary {
-		// Binary bodies stream through pooled chunk buffers straight into
-		// the pipeline — no per-request allocation, no materialized
-		// request. A mid-body error cannot un-ingest earlier chunks, so
-		// the error reports how many items were already consumed. Feed
-		// time is accumulated inside the sink so the decode histogram
-		// isolates parsing from pipeline backpressure.
-		var feed time.Duration
-		n, err := decodeBinaryStream(body, func(chunk stream.Slice) {
-			t0 := time.Now()
-			st.run.ingestCopy(chunk)
-			feed += time.Since(t0)
-		})
-		a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
-		a.metrics.ShardFeed.Observe(feed.Seconds())
+		// Binary bodies stream through pooled chunk buffers that are
+		// handed to the pipeline with ownership — no per-request
+		// allocation, no materialized request, and no copy between the
+		// decoder and the shard queues; each chunk buffer returns to the
+		// decode pool when its shard worker has applied it. A mid-body
+		// error cannot un-ingest earlier chunks, so the error reports how
+		// many items were already consumed. Feed time is accumulated
+		// inside the sink so the decode histogram isolates parsing from
+		// pipeline backpressure.
+		sink := func(chunk stream.Slice, release func()) {
+			st.run.ingestOwned(chunk, release)
+		}
+		if sampled {
+			sink = func(chunk stream.Slice, release func()) {
+				t0 := time.Now()
+				st.run.ingestOwned(chunk, release)
+				feed += time.Since(t0)
+			}
+		}
+		n, err := decodeBinaryStreamOwned(body, sink)
+		if sampled {
+			a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
+			a.metrics.ShardFeed.Observe(feed.Seconds())
+		}
 		st.items.Add(uint64(n))
 		st.bytes.Add(uint64(body.n))
 		if err != nil {
@@ -354,19 +384,33 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeIngested(w, n)
 		return
 	}
-	items, err := decodeTextItems(body)
-	a.metrics.IngestDecode.Since(start)
+	// Text bodies stream through the same pooled chunk shape as binary
+	// ones (the whole-body materialization this path once did made text
+	// ingest allocation-bound); chunks are copied into the pipeline's
+	// batch buffers, so the decode buffers recycle per call.
+	sink := func(chunk stream.Slice) {
+		st.run.ingestCopy(chunk)
+	}
+	if sampled {
+		sink = func(chunk stream.Slice) {
+			t0 := time.Now()
+			st.run.ingestCopy(chunk)
+			feed += time.Since(t0)
+		}
+	}
+	n, err := decodeTextStream(body, sink)
+	if sampled {
+		a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
+		a.metrics.ShardFeed.Observe(feed.Seconds())
+	}
+	st.items.Add(uint64(n))
 	st.bytes.Add(uint64(body.n))
 	if err != nil {
 		a.metrics.IngestErrors.With(causeDecode).Inc()
-		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
+		writeError(w, http.StatusBadRequest, "bad ingest body after %d items: %v", n, err)
 		return
 	}
-	t0 := time.Now()
-	st.run.ingest(items)
-	a.metrics.ShardFeed.Since(t0)
-	st.items.Add(uint64(len(items)))
-	writeIngested(w, len(items))
+	writeIngested(w, n)
 }
 
 // countingReader counts bytes consumed from the wrapped reader — the

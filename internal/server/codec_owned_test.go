@@ -1,0 +1,225 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"substream/internal/stream"
+)
+
+func TestDecodeBinaryStreamOwnedRoundTrip(t *testing.T) {
+	items := make([]uint64, 3*binaryChunkItems+1234)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	var got stream.Slice
+	releases := 0
+	n, err := decodeBinaryStreamOwned(bytes.NewReader(encodeBinary(items)),
+		func(chunk stream.Slice, release func()) {
+			got = append(got, chunk...)
+			release()
+			releases++
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(items) || len(got) != len(items) {
+		t.Fatalf("decoded %d items (sink saw %d), want %d", n, len(got), len(items))
+	}
+	for i, v := range items {
+		if got[i] != stream.Item(v) {
+			t.Fatalf("item %d decoded as %d, want %d", i, got[i], v)
+		}
+	}
+	if releases != 4 {
+		t.Fatalf("sink received %d chunks, want 4", releases)
+	}
+}
+
+// TestDecodeBinaryStreamOwnedChunksDoNotAlias pins the non-aliasing
+// guarantee the ownership hand-off rests on: while a chunk is
+// unreleased, no later chunk may share its backing array, and its
+// contents must stay exactly what the decoder produced — even after the
+// decode call has returned and its scratch buffer has gone back to the
+// pool.
+func TestDecodeBinaryStreamOwnedChunksDoNotAlias(t *testing.T) {
+	const chunks = 4
+	items := make([]uint64, chunks*binaryChunkItems)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	var held []stream.Slice
+	var releases []func()
+	n, err := decodeBinaryStreamOwned(bytes.NewReader(encodeBinary(items)),
+		func(chunk stream.Slice, release func()) {
+			held = append(held, chunk)
+			releases = append(releases, release)
+		})
+	if err != nil || n != len(items) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if len(held) != chunks {
+		t.Fatalf("decoder produced %d chunks, want %d", len(held), chunks)
+	}
+	for i, a := range held {
+		for j, b := range held[i+1:] {
+			if &a[0] == &b[0] {
+				t.Fatalf("chunks %d and %d share a backing array while both are unreleased", i, i+1+j)
+			}
+		}
+	}
+	// Contents survive the decoder finishing: a decoder that recycled an
+	// unreleased buffer would have overwritten the earlier chunks.
+	for c, chunk := range held {
+		for i, v := range chunk {
+			if want := stream.Item(c*binaryChunkItems + i + 1); v != want {
+				t.Fatalf("chunk %d item %d mutated to %d while unreleased, want %d", c, i, v, want)
+			}
+		}
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+func TestDecodeBinaryStreamOwnedConsumedPrefix(t *testing.T) {
+	items := make([]uint64, binaryChunkItems+4)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	items[len(items)-1] = 0
+	var got stream.Slice
+	n, err := decodeBinaryStreamOwned(bytes.NewReader(encodeBinary(items)),
+		func(chunk stream.Slice, release func()) {
+			got = append(got, chunk...)
+			release()
+		})
+	if err == nil || !strings.Contains(err.Error(), "1-based universe") {
+		t.Fatalf("zero-item error = %v", err)
+	}
+	if n != binaryChunkItems || len(got) != binaryChunkItems {
+		t.Fatalf("consumed-prefix count = %d (sink %d), want %d", n, len(got), binaryChunkItems)
+	}
+	if _, err := decodeBinaryStreamOwned(bytes.NewReader([]byte{1, 2, 3}),
+		func(stream.Slice, func()) {}); err == nil || !strings.Contains(err.Error(), "truncated mid-item") {
+		t.Fatalf("truncated body error = %v", err)
+	}
+}
+
+// TestDecodeBinaryStreamOwnedAllocFree is the owned twin of
+// TestDecodeBinaryStreamAllocFree: with chunks released promptly,
+// steady-state decoding — including the per-chunk pool round trip and
+// the release hand-off — allocates nothing.
+func TestDecodeBinaryStreamOwnedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the strict bound")
+	}
+	items := make([]uint64, 2*binaryChunkItems+100)
+	for i := range items {
+		items[i] = uint64(i + 1)
+	}
+	body := encodeBinary(items)
+	rd := bytes.NewReader(body)
+	sink := func(_ stream.Slice, release func()) { release() }
+	if _, err := decodeBinaryStreamOwned(rd, sink); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(body)
+		if _, err := decodeBinaryStreamOwned(rd, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decodeBinaryStreamOwned allocates %v objects per request in steady state, want 0", allocs)
+	}
+}
+
+func TestDecodeTextStreamMatchesReadText(t *testing.T) {
+	bodies := []string{
+		"",
+		"1\n",
+		"1\n2\n3\n",
+		"1\n\n2\n\n\n3\n",
+		"7",                         // final line without newline
+		"1\r\n2\r\n3\r",             // CRLF line endings, trailing CR on last line
+		"18446744073709551615\n1\n", // max uint64
+	}
+	// A multi-chunk body: enough lines to overflow one pooled item chunk
+	// and one 64 KiB read buffer several times.
+	var big strings.Builder
+	for i := 1; i <= 3*binaryChunkItems; i++ {
+		big.WriteString(strings.Repeat("9", 1+i%3))
+		big.WriteByte('\n')
+	}
+	bodies = append(bodies, big.String())
+
+	for i, body := range bodies {
+		want, err := stream.ReadText(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("body %d: ReadText: %v", i, err)
+		}
+		var got stream.Slice
+		n, err := decodeTextStream(strings.NewReader(body), collectSink(&got))
+		if err != nil {
+			t.Fatalf("body %d: decodeTextStream: %v", i, err)
+		}
+		if n != len(want) || len(got) != len(want) {
+			t.Fatalf("body %d: decoded %d items (sink %d), want %d", i, n, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("body %d item %d: got %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestDecodeTextStreamErrors(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{"1\nxyz\n", "invalid decimal item"},
+		{"1\n-2\n", "invalid decimal item"},
+		{"1\n0\n2\n", "1-based universe"},
+		{"99999999999999999999999\n", "overflows"},
+		{"1\n" + strings.Repeat("9", 9*binaryChunkItems) + "\n", "line limit"},
+	}
+	for _, c := range cases {
+		_, err := decodeTextStream(strings.NewReader(c.body), func(stream.Slice) {})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("body %.20q: err = %v, want substring %q", c.body, err, c.want)
+		}
+	}
+}
+
+// TestDecodeTextStreamAllocFree pins the text-path fix: chunked decoding
+// through the pooled buffers allocates nothing per request in steady
+// state, where the old materialize-the-body path allocated the whole
+// item slice and a line scanner every call.
+func TestDecodeTextStreamAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race for the strict bound")
+	}
+	var body bytes.Buffer
+	for i := 1; i <= binaryChunkItems+500; i++ {
+		body.WriteString("123456789\n")
+	}
+	raw := body.Bytes()
+	rd := bytes.NewReader(raw)
+	sink := func(stream.Slice) {}
+	if _, err := decodeTextStream(rd, sink); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(raw)
+		if _, err := decodeTextStream(rd, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("decodeTextStream allocates %v objects per request in steady state, want 0", allocs)
+	}
+}

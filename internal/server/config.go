@@ -255,6 +255,11 @@ type streamRunner interface {
 	// caller keeps ownership and may reuse the slice immediately — the
 	// pooled streaming-decode path depends on this.
 	ingestCopy(items stream.Slice)
+	// ingestOwned transfers ownership of items into the pipeline
+	// zero-copy; release is invoked exactly once when the items have
+	// been applied (immediately, if the runner is already closed) — the
+	// ownership-transfer decode path depends on this.
+	ingestOwned(items stream.Slice, release func())
 	estimates() (Estimates, error)
 	snapshot() (payload []byte, epoch uint64, fed, kept uint64, err error)
 	counts() (fed, kept uint64)
@@ -322,6 +327,20 @@ func (r *runner) ingestCopy(items stream.Slice) {
 		return
 	}
 	r.pl.FeedCopy(items)
+}
+
+func (r *runner) ingestOwned(items stream.Slice, release func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		// The items are dropped, but the buffer must still flow back to
+		// its owner or the decode pool leaks a chunk per racing request.
+		if release != nil {
+			release()
+		}
+		return
+	}
+	r.pl.FeedOwned(items, release)
 }
 
 // merged quiesces the pipeline and folds every shard replica into a

@@ -74,6 +74,34 @@
 // carries the ring's epoch index, and the collector's fold realigns
 // whatever flush-schedule skew remains (see internal/window).
 //
+// # Ingest path
+//
+// POST /v1/streams/{name}/ingest accepts two body formats (codec.go):
+// text/plain, one decimal item per line, and application/octet-stream,
+// fixed 8-byte little-endian items. Both decode incrementally through
+// pooled 64 KiB buffers — a request body is never materialized, so
+// per-request memory is bounded by one chunk regardless of body size,
+// and steady-state decoding allocates nothing.
+//
+// The binary path goes further and never copies: each decoded chunk is
+// a pooled buffer handed to the stream's pipeline via
+// pipeline.FeedOwned together with a release closure, and the shard
+// worker returns the buffer to the pool after applying it. Chunks in
+// flight never alias — a buffer leaves the pool when the decoder fills
+// it and re-enters only when its consumer releases it. The text path
+// uses the copying feed (its bytes must be parsed anyway, so the copy
+// is free relative to parsing).
+//
+// On a mid-body error (zero item, malformed line, truncated record)
+// chunks already fed stay consumed — HTTP cannot roll them back — and
+// the 400 response reports how many items were applied before the
+// fault.
+//
+// Ingest instrumentation is sampled: the decode/feed latency
+// histograms observe one request in AgentConfig.ObsSampleEvery
+// (default 64) so the hot path skips its clock reads on unsampled
+// requests; request/item/byte/error counters stay exact.
+//
 // # Ops endpoints
 //
 // Both roles expose the same operational surface alongside their data

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -442,6 +443,47 @@ func benchmarkServerIngestObs(b *testing.B, contentType string, encode func(stre
 	}
 }
 
+// benchmarkServerIngestWeighted mirrors benchmarkServerIngest for the
+// weighted binary wire: 4096 16-byte records per op into a varopt
+// stream, Pareto weights, same loopback HTTP round trip.
+func benchmarkServerIngestWeighted(b *testing.B) {
+	agent := server.NewAgent(server.AgentConfig{ID: "bench"})
+	defer agent.Close()
+	if err := agent.CreateStream("traffic", server.StreamConfig{
+		Stat: "varopt", Budget: 1024, P: 0.05, Seed: 9, Shards: 4, Batch: 1024, SampleSeed: 7,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(agent.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/streams/traffic/ingest"
+
+	const batchItems = 4096
+	wl := workload.Zipf(batchItems, 65536, 1.1, 3)
+	items := stream.Collect(wl.Stream)
+	r := rng.New(5)
+	body := make([]byte, 16*len(items))
+	for i, it := range items {
+		binary.LittleEndian.PutUint64(body[i*16:], uint64(it))
+		binary.LittleEndian.PutUint64(body[i*16+8:], math.Float64bits(rng.Pareto(r, 1, 1.3)))
+	}
+
+	b.SetBytes(16 * batchItems)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, server.ContentTypeBinaryWeighted, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("ingest returned %s", resp.Status)
+		}
+	}
+}
+
 func BenchmarkServerIngest(b *testing.B) {
 	b.Run("binary", func(b *testing.B) {
 		benchmarkServerIngest(b, server.ContentTypeBinary, func(items stream.Slice) []byte {
@@ -460,6 +502,13 @@ func BenchmarkServerIngest(b *testing.B) {
 			}
 			return sb.Bytes()
 		})
+	})
+	// The weighted lane: same end-to-end path but 16-byte key+weight
+	// records into a VarOpt reservoir. Not a like-for-like comparison
+	// with "binary" (twice the wire bytes per item, different estimator);
+	// it records the weighted path's own throughput trajectory.
+	b.Run("binary-weighted", func(b *testing.B) {
+		benchmarkServerIngestWeighted(b)
 	})
 	// The ablation for histogram sampling: identical to binary but with
 	// ObsSampleEvery 1, i.e. every request pays the decode/feed clock

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	genstream -kind zipf -n 100000 -m 4096 -s 1.1 [-seed 1] [-out stream.txt]
+//	genstream -kind netflow -n 100000 -weights 1.3 [-out flows.txt]
 //
 // Kinds: zipf, uniform, distinct, constfreq, planted, netflow,
 // f0adversarial, entropy1, entropy2.
+//
+// With -weights α > 0 every item additionally carries a Pareto(α)
+// weight (scale 1, so weights are ≥ 1 with a heavy tail for small α —
+// bytes-per-flow-shaped) and the output switches to the weighted text
+// format ("key weight" per line) that substream -weighted and the
+// daemon's text/vnd.substream.weighted ingest consume.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"substream/internal/rng"
 	"substream/internal/stream"
 	"substream/internal/workload"
 )
@@ -40,14 +48,15 @@ var errUsage = errors.New("usage error")
 func run(args []string, w, errW io.Writer) error {
 	fs := flag.NewFlagSet("genstream", flag.ContinueOnError)
 	var (
-		kind = fs.String("kind", "zipf", "workload kind")
-		n    = fs.Int("n", 100000, "stream length")
-		m    = fs.Int("m", 4096, "universe size / distinct items")
-		s    = fs.Float64("s", 1.1, "zipf/netflow skew")
-		p    = fs.Float64("p", 0.1, "target sampling probability (entropy1 instance)")
-		hh   = fs.Int("hh", 5, "planted heavy hitters")
-		seed = fs.Uint64("seed", 1, "random seed")
-		out  = fs.String("out", "", "output file (default stdout)")
+		kind    = fs.String("kind", "zipf", "workload kind")
+		n       = fs.Int("n", 100000, "stream length")
+		m       = fs.Int("m", 4096, "universe size / distinct items")
+		s       = fs.Float64("s", 1.1, "zipf/netflow skew")
+		p       = fs.Float64("p", 0.1, "target sampling probability (entropy1 instance)")
+		hh      = fs.Int("hh", 5, "planted heavy hitters")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		weights = fs.Float64("weights", 0, "Pareto shape for per-item weights (0 = unweighted output)")
+		out     = fs.String("out", "", "output file (default stdout)")
 	)
 	fs.SetOutput(errW)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +77,9 @@ func run(args []string, w, errW io.Writer) error {
 	if *p <= 0 || *p > 1 {
 		return fmt.Errorf("-p must be in (0, 1], got %v", *p)
 	}
+	if *weights < 0 {
+		return fmt.Errorf("-weights must be >= 0, got %v", *weights)
+	}
 
 	wl, err := build(*kind, *n, *m, *s, *p, *hh, *seed, errW)
 	if err != nil {
@@ -83,11 +95,36 @@ func run(args []string, w, errW io.Writer) error {
 		defer f.Close()
 		dst = f
 	}
+	if *weights > 0 {
+		// Weight generation draws from a generator split off the workload
+		// seed so the key sequence is identical to the unweighted run of
+		// the same seed — -weights adds a column, it does not reshuffle.
+		ws := attachParetoWeights(wl.Stream, *weights, *seed)
+		if err := stream.WriteWeightedText(dst, ws); err != nil {
+			return err
+		}
+		fmt.Fprintf(errW, "wrote %s: %d weighted items (Pareto α=%g), universe %d\n",
+			wl.Name, len(ws), *weights, wl.Universe)
+		return nil
+	}
 	if err := stream.WriteText(dst, wl.Stream); err != nil {
 		return err
 	}
 	fmt.Fprintf(errW, "wrote %s: %d items, universe %d\n", wl.Name, wl.Stream.Len(), wl.Universe)
 	return nil
+}
+
+// attachParetoWeights pairs every item of s with an independent
+// Pareto(alpha) weight of scale 1. Pareto variates are ≥ 1 and finite,
+// so the result always satisfies the wire's positive-and-finite rule.
+func attachParetoWeights(s stream.Stream, alpha float64, seed uint64) stream.WSlice {
+	r := rng.New(seed).Split()
+	ws := make(stream.WSlice, 0, s.Len())
+	_ = s.ForEach(func(it stream.Item) error {
+		ws = append(ws, stream.WItem{Key: it, Weight: rng.Pareto(r, 1, alpha)})
+		return nil
+	})
+	return ws
 }
 
 func build(kind string, n, m int, s, p float64, hh int, seed uint64, errW io.Writer) (workload.Workload, error) {

@@ -71,6 +71,42 @@ func TestRunWritesStream(t *testing.T) {
 	}
 }
 
+// TestRunWritesWeightedStream pins the -weights contract: same seed ⇒
+// same key sequence as the unweighted run, weights ≥ 1 (Pareto scale),
+// output parseable by the weighted reader.
+func TestRunWritesWeightedStream(t *testing.T) {
+	var plain, weighted, errOut bytes.Buffer
+	args := []string{"-kind", "zipf", "-n", "200", "-m", "20", "-seed", "9"}
+	if err := run(args, &plain, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-weights", "1.3"), &weighted, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := stream.ReadText(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := stream.ReadWeightedText(&weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != len(keys) {
+		t.Fatalf("weighted run wrote %d items, unweighted %d", len(ws), len(keys))
+	}
+	for i := range ws {
+		if ws[i].Key != keys[i] {
+			t.Fatalf("item %d: -weights reshuffled keys (%d vs %d)", i, ws[i].Key, keys[i])
+		}
+		if ws[i].Weight < 1 {
+			t.Fatalf("item %d: Pareto weight %v below scale 1", i, ws[i].Weight)
+		}
+	}
+	if !strings.Contains(errOut.String(), "weighted items") {
+		t.Fatalf("missing weighted summary line on errW: %q", errOut.String())
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -86,6 +122,7 @@ func TestRunUsageErrors(t *testing.T) {
 		{"zero m", []string{"-m", "0"}, false},
 		{"zero hh", []string{"-hh", "0"}, false},
 		{"bad p", []string{"-p", "1.5"}, false},
+		{"negative weights", []string{"-weights", "-1"}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -21,10 +21,16 @@
 // "window_"-prefixed estimates covering only the last W epochs — the
 // batch-replay twin of the daemon's time-based windows.
 //
+// With -weighted the input is the weighted text format ("key weight"
+// per line, weight column optional, default 1) and items carry their
+// weights through the pipeline — pair with -stat varopt for a VarOpt
+// reservoir whose subset sums estimate weighted totals.
+//
 // Usage:
 //
 //	substream -stat f2 -p 0.1 [-input stream.txt] [-k 3] [-alpha 0.05]
 //	          [-shards 4] [-batch 1024] [-window 3 -epoch 10000]
+//	substream -stat varopt -weighted -p 1 -input flows.txt
 //	substream -list-estimators
 package main
 
@@ -44,6 +50,7 @@ import (
 	"substream/internal/pipeline"
 	_ "substream/internal/quantile"
 	"substream/internal/rng"
+	_ "substream/internal/sample"
 	"substream/internal/stream"
 	"substream/internal/window"
 )
@@ -63,6 +70,7 @@ type options struct {
 	batch      int
 	window     int
 	epoch      int
+	weighted   bool
 	list       bool
 	cpuprofile string
 	memprofile string
@@ -85,6 +93,7 @@ func main() {
 	flag.IntVar(&opt.batch, "batch", 1024, "pipeline batch size")
 	flag.IntVar(&opt.window, "window", 0, "window span in epochs (0 = cumulative only)")
 	flag.IntVar(&opt.epoch, "epoch", 10000, "items per epoch for -window")
+	flag.BoolVar(&opt.weighted, "weighted", false, "read the weighted text format (\"key weight\" per line)")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list registered estimator kinds and exit")
 	flag.StringVar(&opt.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&opt.memprofile, "memprofile", "", "write a heap profile at the end of the run to this file")
@@ -152,10 +161,26 @@ func run(w io.Writer, opt options) error {
 		opt.stat = "fk"
 	}
 
+	// -weighted parses the "key weight" format into a weighted slice and
+	// keeps a bare-key view of it for exact-statistics reporting; the
+	// unweighted path is untouched.
 	readStart := time.Now()
-	s, err := stream.ReadText(in)
-	if err != nil {
-		return err
+	var s stream.Slice
+	var ws stream.WSlice
+	if opt.weighted {
+		ws, err = stream.ReadWeightedText(in)
+		if err != nil {
+			return err
+		}
+		s = make(stream.Slice, len(ws))
+		for i := range ws {
+			s[i] = ws[i].Key
+		}
+	} else {
+		s, err = stream.ReadText(in)
+		if err != nil {
+			return err
+		}
 	}
 	logger.Debug("stream loaded", "items", len(s), "elapsed", time.Since(readStart))
 	if len(s) == 0 {
@@ -188,6 +213,13 @@ func run(w io.Writer, opt options) error {
 	}
 	f := stream.NewFreq(s)
 	fmt.Fprintf(w, "original stream: n=%d distinct=%d\n", len(s), f.F0())
+	if opt.weighted {
+		var totalW float64
+		for i := range ws {
+			totalW += ws[i].Weight
+		}
+		fmt.Fprintf(w, "weighted: total weight %.6g\n", totalW)
+	}
 
 	// With -window the replicas are epoch rings sharing one manual clock
 	// the feed loop advances every -epoch items — count-driven epochs,
@@ -226,15 +258,22 @@ func run(w io.Writer, opt options) error {
 		return e
 	})
 	feedStart := time.Now()
+	feed := func(lo, hi int) {
+		if opt.weighted {
+			pl.FeedWeightedSlice(ws[lo:hi])
+		} else {
+			pl.FeedSlice(s[lo:hi])
+		}
+	}
 	if clock == nil {
-		pl.FeedSlice(s)
+		feed(0, len(s))
 	} else {
 		for start := 0; start < len(s); start += opt.epoch {
 			// Quiesce before each boundary so every queued batch lands in
 			// its own epoch, then rotate and feed the next slice.
 			pl.Sync()
 			clock.Set(uint64(start / opt.epoch))
-			pl.FeedSlice(s[start:min(start+opt.epoch, len(s))])
+			feed(start, min(start+opt.epoch, len(s)))
 		}
 	}
 	merged, err := pipeline.MergeAll(pl)

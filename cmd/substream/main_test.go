@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -144,6 +145,67 @@ func TestRunWindowed(t *testing.T) {
 	}
 }
 
+// TestRunWeighted drives -weighted through the varopt reservoir. The
+// reservoir's total_weight scalar sums every fed weight exactly, so with
+// p=1 it must reproduce the file's total — sequentially, sharded, and
+// windowed.
+func TestRunWeighted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flows.txt")
+	ws := make(stream.WSlice, 0, 5000)
+	var total float64
+	for i := 1; i <= 5000; i++ {
+		wt := 1 + float64(i%7)
+		ws = append(ws, stream.WItem{Key: stream.Item(i%97 + 1), Weight: wt})
+		total += wt
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.WriteWeightedText(f, ws); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// printEstimates renders scalars with %.6g; derive the expected row
+	// from the exact total the same way.
+	wantRow := fmt.Sprintf("total_weight estimate: %.6g", total)
+	for _, shards := range []int{1, 4} {
+		var out bytes.Buffer
+		opt := baseOpts("varopt", path)
+		opt.p = 1
+		opt.weighted = true
+		opt.shards = shards
+		if err := run(&out, opt); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := out.String()
+		for _, want := range []string{"weighted: total weight", wantRow} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("shards=%d: weighted output missing %q:\n%s", shards, want, got)
+			}
+		}
+	}
+	// Windowed: the window_* rows must appear alongside the cumulative
+	// ones, and the cumulative total stays exact.
+	var out bytes.Buffer
+	opt := baseOpts("varopt", path)
+	opt.p = 1
+	opt.weighted = true
+	opt.window = 2
+	opt.epoch = 2000
+	if err := run(&out, opt); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"window_total_weight estimate", wantRow} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("windowed weighted output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeStreamFile(t, workload.Zipf(1000, 50, 1.0, 3))
 	cases := []struct {
@@ -209,7 +271,7 @@ func TestListEstimators(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := out.String()
-	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin", "window", "0x30", "quantile", "0x40"} {
+	for _, want := range []string{"fk", "0x20", "f0", "hh2", "levelset", "countmin", "window", "0x30", "quantile", "0x40", "varopt", "0x50"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("-list-estimators output missing %q:\n%s", want, got)
 		}

@@ -22,6 +22,15 @@
 // none. Both roles serve /healthz and /metricsz and shut down gracefully
 // on SIGINT/SIGTERM (agents perform a final flush first, bounded by
 // -flush-timeout).
+//
+// Ingest accepts unweighted bodies (text/plain, application/octet-stream)
+// and weighted ones (text/vnd.substream.weighted "key weight" lines,
+// application/vnd.substream.witem 16-byte key+float64 records). Streams
+// backed by a "varopt" stat answer Horvitz–Thompson subset sums over an
+// IPv4 CIDR prefix of the key's low 32 bits: agents at
+// GET /v1/streams/{name}/subsetsum?prefix=10.0.0.0/8[&scope=window],
+// collectors fleet-wide at GET /v1/subsetsum?stream=...&prefix=...
+// (see internal/server).
 package main
 
 import (

@@ -7,12 +7,16 @@
 //   - which flows exceeded 2% of traffic?  (F₁ heavy hitters — Theorem 6)
 //   - how large was the self-join of the flow-size distribution,
 //     a standard skew indicator? (F₂ — Algorithm 1)
+//   - how many BYTES came from 10.0.0.0/8? (weighted subset sum over a
+//     VarOpt-k reservoir — see bytesFromPrefix)
 //
 // Run: go run ./examples/netflow
 package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"substream/internal/core"
 	"substream/internal/rng"
@@ -81,4 +85,50 @@ func main() {
 	}
 	fmt.Printf("\nground-truth heavy flows missed: %d (Theorem 6 predicts 0 when n ≥ %.3g)\n",
 		missed, hh.MinStreamLength(packets, 0.05))
+
+	fmt.Println()
+	bytesFromPrefix(os.Stdout)
+}
+
+// bytesFromPrefix is the weighted twin of the scenario above: each flow
+// record carries its byte count as a weight, and the question is a
+// subset sum — how many bytes came from inside 10.0.0.0/8? A VarOpt-k
+// reservoir (k flows of state, here 1024 out of 30000) answers with the
+// Horvitz–Thompson estimator: exact weights for the retained heavy
+// flows plus τ per retained light one. The flow key holds the source
+// address in its low 32 bits, the daemon's subset-sum convention.
+func bytesFromPrefix(w io.Writer) {
+	const (
+		flowCount = 30000
+		k         = 1024
+	)
+	r := rng.New(11)
+	v := sample.NewVarOpt(k, r.Split())
+
+	var totalBytes, insideBytes float64
+	for i := 0; i < flowCount; i++ {
+		// Roughly a quarter of flows originate inside 10.0.0.0/8; the
+		// rest come from a 192.168.0.0/16 pool. Flow sizes are
+		// Pareto-tailed bytes, the same shape the workload generator
+		// uses for packet counts.
+		var addr uint64
+		if r.Uint64n(4) == 0 {
+			addr = 10<<24 | r.Uint64n(1<<24)
+		} else {
+			addr = 192<<24 | 168<<16 | r.Uint64n(1<<16)
+		}
+		size := rng.Pareto(r, 1500, 1.2)
+		v.ObserveWeighted(stream.Item(addr), size)
+		totalBytes += size
+		if addr>>24 == 10 {
+			insideBytes += size
+		}
+	}
+
+	est := v.SubsetSum(func(it stream.Item) bool {
+		return (uint64(it)&0xffff_ffff)>>24 == 10
+	})
+	fmt.Fprintf(w, "bytes from 10.0.0.0/8 (VarOpt k=%d over %d flows):\n", k, flowCount)
+	fmt.Fprintf(w, "estimated share %.1f%%, true share %.1f%% of %.3g total bytes\n",
+		100*est/v.TotalWeight(), 100*insideBytes/totalBytes, totalBytes)
 }

@@ -13,6 +13,7 @@ import (
 	// the registry-driven suites below cover them all.
 	_ "substream/internal/core"
 	_ "substream/internal/quantile"
+	_ "substream/internal/sample"
 )
 
 // This file pins the library-wide batching contract: for EVERY

@@ -77,6 +77,51 @@ func ReportOf(e Estimator) Report {
 	return Report{Values: e.Estimates()}
 }
 
+// Weighted is an optional extension implemented by estimators that
+// consume (key, weight) items natively — today the VarOpt reservoir in
+// internal/sample and the window wrapper around it. Estimators without
+// it still accept weighted streams through the degenerate projection
+// (each weighted item observed once as its bare key); WeightedOf is the
+// single probe ingestion layers use to pick the path.
+type Weighted interface {
+	// ObserveWeighted feeds one weighted element of the observed stream.
+	ObserveWeighted(it stream.Item, weight float64)
+	// UpdateWeightedBatch feeds a weighted batch — the amortized fast
+	// path, required to be state-equivalent to element-wise
+	// ObserveWeighted like UpdateBatch is to Observe.
+	UpdateWeightedBatch(items []stream.WItem)
+}
+
+// WeightedOf returns the weighted-ingest surface of an estimator: the
+// estimator itself when it implements Weighted, the concrete value
+// behind an adapter when that does, and false otherwise.
+func WeightedOf(e Estimator) (Weighted, bool) {
+	if w, ok := e.(Weighted); ok {
+		return w, true
+	}
+	w, ok := Unwrap(e).(Weighted)
+	return w, ok
+}
+
+// Summer is an optional extension implemented by estimators that answer
+// subset-sum queries: an unbiased estimate of the total weight of the
+// stream elements whose key satisfies pred (Horvitz–Thompson over the
+// retained sample, for the VarOpt reservoir).
+type Summer interface {
+	SubsetSum(pred func(stream.Item) bool) float64
+}
+
+// SummerOf returns the subset-sum surface of an estimator, unwrapping
+// adapters like WeightedOf does; false when the kind does not answer
+// subset sums.
+func SummerOf(e Estimator) (Summer, bool) {
+	if s, ok := e.(Summer); ok {
+		return s, true
+	}
+	s, ok := Unwrap(e).(Summer)
+	return s, ok
+}
+
 // Typed is the contract a concrete estimator implements in its own
 // package: the Estimator methods with a type-safe Merge. Adapt lifts a
 // Typed implementation to the interface, so concrete types never deal in

@@ -22,6 +22,26 @@
 // stream-monitoring systems exploit ("Boosting the Basic Counting on
 // Distributed Streams"; Cohen et al.'s per-flow aggregation).
 //
+// The WEIGHTED lane (FeedWeighted and friends) needs a different
+// argument. VarOpt reservoir sampling does NOT commute with
+// partitioning: which items survive a full reservoir depends on the
+// weights of the items competing for the same k slots, so shard-local
+// reservoirs are not jointly distributed like one reservoir over the
+// union. Sharding is sound anyway because soundness here rests on the
+// MERGE, not on commutation: each shard's reservoir is a valid VarOpt
+// sample of exactly the sub-stream that shard received (any split of
+// the stream is fine — VarOpt makes no distributional assumption about
+// its input), and the CDKLT merge procedure folds two VarOpt samples
+// into a VarOpt-quality sample of the concatenated stream, preserving
+// subset-sum unbiasedness. MergeAll applies that fold across shards, so
+// the merged reservoir estimates the union stream with the merged
+// variance bounds — slightly wider than a single sequential reservoir's
+// (merging k-of-shard samples discards information a sequential pass
+// keeps), which is the price of parallel ingest, and bounded by the
+// merge theorem rather than growing with the shard count. Estimators
+// without a weighted path degrade explicitly: the worker strips weights
+// and feeds bare keys, i.e. the weight-1 projection of the stream.
+//
 // # Topology
 //
 //	            ┌─ SPSC ring ─ worker 0 ─ replica E₀ ─┐
@@ -59,6 +79,15 @@
 // partitioning of the stream). Pending Feed items are flushed first,
 // so per-item and owned feeding interleave without reordering across a
 // Sync.
+//
+// The weighted lane mirrors the whole feeding surface — FeedWeighted,
+// FeedWeightedSlice, FeedWeightedCopy, FeedWeightedOwned — with the
+// same ownership and ordering contracts; switching lanes flushes the
+// other lane's partial batch so interleaved feeding never reorders a
+// shard's view. A pipeline that only ever uses the unweighted feeds
+// behaves bit-identically to one built before the weighted lane
+// existed (same batches, same sampler coin consumption, same replica
+// states).
 //
 // # Mergeability contract
 //

@@ -25,6 +25,18 @@ type BatchObserver interface {
 	UpdateBatch(items []stream.Item)
 }
 
+// WeightedObserver is the per-item ingestion interface of replicas that
+// consume (key, weight) items natively — mirrors estimator.Weighted
+// without importing it (pipeline stays estimator-agnostic).
+type WeightedObserver interface {
+	ObserveWeighted(it stream.Item, weight float64)
+}
+
+// WeightedBatchObserver is the batched weighted fast path.
+type WeightedBatchObserver interface {
+	UpdateWeightedBatch(items []stream.WItem)
+}
+
 // Mergeable is satisfied by estimator types that can fold a structurally
 // identical replica into themselves — the contract MergeAll reduces over.
 // Concrete estimators satisfy Mergeable[*T] with their typed Merge;
@@ -73,26 +85,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// batchMsg is one unit of work. Pooled buffers are recycled by the worker
-// after application; caller-owned slices (zero-copy FeedSlice path) are
-// not touched; FeedOwned messages carry the release callback the worker
-// invokes once the items have been applied. A message with a non-nil ack
-// is a synchronization barrier: the worker acknowledges and applies
-// nothing.
+// batchMsg is one unit of work, carrying either an unweighted or a
+// weighted batch (witems non-nil selects the weighted lane). Pooled
+// buffers are recycled by the worker after application; caller-owned
+// slices (zero-copy FeedSlice path) are not touched; FeedOwned messages
+// carry the release callback the worker invokes once the items have been
+// applied. A message with a non-nil ack is a synchronization barrier:
+// the worker acknowledges and applies nothing.
 type batchMsg struct {
 	items   []stream.Item
+	witems  []stream.WItem
 	pooled  bool
 	release func()
 	ack     chan<- struct{}
 }
 
-// keptCell is one shard's post-sampling item count, padded to a cache
-// line so adjacent shard workers' per-batch increments never share (and
-// so never invalidate) one line — the false-sharing fix the flat
-// []atomic.Uint64 layout was vulnerable to.
+// keptCell is one shard's post-sampling item count and weight, padded to
+// a cache line so adjacent shard workers' per-batch increments never
+// share (and so never invalidate) one line — the false-sharing fix the
+// flat []atomic.Uint64 layout was vulnerable to. The weight lives as
+// float64 bits under the single-writer discipline: only the owning
+// worker stores it, so a plain load-add-store is race-free.
 type keptCell struct {
 	n atomic.Uint64
-	_ [56]byte
+	w atomic.Uint64 // kept weight, float64 bits
+	_ [48]byte
+}
+
+func (c *keptCell) addWeight(d float64) {
+	c.w.Store(math.Float64bits(math.Float64frombits(c.w.Load()) + d))
 }
 
 // Pipeline fans a single feed out to per-shard estimator replicas of type
@@ -104,9 +125,12 @@ type Pipeline[E any] struct {
 	rings  []*spscRing
 	wg     sync.WaitGroup
 	pool   sync.Pool
+	wpool  sync.Pool
 	buf    []stream.Item
-	next   int    // round-robin cursor
-	fed    uint64 // items fed by the producer
+	wbuf   []stream.WItem // weighted batch buffer, nil until first weighted feed
+	next   int            // round-robin cursor
+	fed    uint64         // items fed by the producer
+	fedW   float64        // weight fed by the producer (1 per unweighted item)
 	kept   []keptCell
 	acks   chan struct{} // reusable Sync barrier (single-producer ⇒ no overlap)
 	closed bool
@@ -134,12 +158,14 @@ func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
 		acks:   make(chan struct{}, cfg.Shards),
 	}
 	p.pool.New = func() any { return make([]stream.Item, 0, cfg.BatchSize) }
+	p.wpool.New = func() any { return make([]stream.WItem, 0, cfg.BatchSize) }
 	p.buf = p.pool.Get().([]stream.Item)
 
 	master := rng.New(cfg.Seed)
 	for i := 0; i < cfg.Shards; i++ {
 		p.shards[i] = newShard(i)
 		apply := applyFunc(p.shards[i])
+		applyW := applyWeightedFunc(p.shards[i], apply)
 		p.rings[i] = newSPSCRing(cfg.QueueDepth)
 
 		var coins *rng.Xoshiro256
@@ -147,7 +173,7 @@ func New[E any](cfg Config, newShard func(shard int) E) *Pipeline[E] {
 			coins = master.Split()
 		}
 		p.wg.Add(1)
-		go p.work(i, p.rings[i], apply, coins)
+		go p.work(i, p.rings[i], apply, applyW, coins)
 	}
 	return p
 }
@@ -168,11 +194,47 @@ func applyFunc(e any) func([]stream.Item) {
 	}
 }
 
+// applyWeightedFunc resolves the weighted application path for a
+// replica: its native weighted interface when it (or the concrete value
+// behind an Unwrap chain, e.g. an estimator-registry adapter) has one,
+// otherwise the degenerate projection — every weighted item is observed
+// once as its bare key through the unweighted path, which is exactly the
+// weight-1 semantics and loses only the extra mass of heavier items.
+func applyWeightedFunc(e any, plain func([]stream.Item)) func([]stream.WItem) {
+	probe := e
+	for {
+		switch x := probe.(type) {
+		case WeightedBatchObserver:
+			return x.UpdateWeightedBatch
+		case WeightedObserver:
+			return func(items []stream.WItem) {
+				for _, it := range items {
+					x.ObserveWeighted(it.Key, it.Weight)
+				}
+			}
+		}
+		u, ok := probe.(interface{ Unwrap() any })
+		if !ok {
+			break
+		}
+		probe = u.Unwrap()
+	}
+	var keys []stream.Item
+	return func(items []stream.WItem) {
+		keys = keys[:0]
+		for _, it := range items {
+			keys = append(keys, it.Key)
+		}
+		plain(keys)
+	}
+}
+
 // work is one shard worker: it owns its replica exclusively until Close
 // returns, so no locking is needed around estimator state.
-func (p *Pipeline[E]) work(shard int, r *spscRing, apply func([]stream.Item), coins *rng.Xoshiro256) {
+func (p *Pipeline[E]) work(shard int, r *spscRing, apply func([]stream.Item), applyW func([]stream.WItem), coins *rng.Xoshiro256) {
 	defer p.wg.Done()
 	var scratch []stream.Item
+	var wscratch []stream.WItem // allocated on the first sampled weighted batch
 	var sampler bernoulliSampler
 	if coins != nil {
 		scratch = make([]stream.Item, 0, p.cfg.BatchSize)
@@ -187,12 +249,35 @@ func (p *Pipeline[E]) work(shard int, r *spscRing, apply func([]stream.Item), co
 			msg.ack <- struct{}{}
 			continue
 		}
+		if msg.witems != nil {
+			items := msg.witems
+			if coins != nil {
+				wscratch = sampler.filterW(wscratch[:0], items)
+				items = wscratch
+			}
+			p.kept[shard].n.Add(uint64(len(items)))
+			var kw float64
+			for _, it := range items {
+				kw += it.Weight
+			}
+			p.kept[shard].addWeight(kw)
+			if len(items) > 0 {
+				applyW(items)
+			}
+			if msg.pooled {
+				p.wpool.Put(msg.witems[:0])
+			} else if msg.release != nil {
+				msg.release()
+			}
+			continue
+		}
 		items := msg.items
 		if coins != nil {
 			scratch = sampler.filter(scratch[:0], items)
 			items = scratch
 		}
 		p.kept[shard].n.Add(uint64(len(items)))
+		p.kept[shard].addWeight(float64(len(items)))
 		if len(items) > 0 {
 			apply(items)
 		}
@@ -257,6 +342,24 @@ func (s *bernoulliSampler) filter(dst, items []stream.Item) []stream.Item {
 	return dst
 }
 
+// filterW is filter over a weighted batch: the same Bernoulli process on
+// items (weights ride along untouched — the sampled substream keeps each
+// survivor's true weight), sharing the rejection-run state so weighted
+// and unweighted batches interleave under one coin sequence. A pipeline
+// that never feeds weighted batches consumes coins exactly as before.
+func (s *bernoulliSampler) filterW(dst, items []stream.WItem) []stream.WItem {
+	if s.all {
+		return append(dst, items...)
+	}
+	n := uint64(len(items))
+	for s.skip < n {
+		dst = append(dst, items[s.skip])
+		s.skip += 1 + s.gap()
+	}
+	s.skip -= n
+	return dst
+}
+
 // dispatch hands one batch to the next shard round-robin.
 func (p *Pipeline[E]) dispatch(msg batchMsg) {
 	p.batches++
@@ -273,11 +376,38 @@ func (p *Pipeline[E]) Feed(it stream.Item) {
 	if p.closed {
 		panic("pipeline: Feed after Close")
 	}
+	if len(p.wbuf) > 0 {
+		p.flushWeighted()
+	}
 	p.fed++
+	p.fedW++
 	p.buf = append(p.buf, it)
 	if len(p.buf) == p.cfg.BatchSize {
 		p.dispatch(batchMsg{items: p.buf, pooled: true})
 		p.buf = p.pool.Get().([]stream.Item)
+	}
+}
+
+// FeedWeighted ingests one weighted item, buffering into the current
+// weighted batch. The unweighted and weighted buffered lanes flush each
+// other on a switch, so interleaved feeding never reorders items within
+// a shard's view.
+func (p *Pipeline[E]) FeedWeighted(it stream.Item, weight float64) {
+	if p.closed {
+		panic("pipeline: FeedWeighted after Close")
+	}
+	if len(p.buf) > 0 {
+		p.flushPlain()
+	}
+	p.fed++
+	p.fedW += weight
+	if p.wbuf == nil {
+		p.wbuf = p.wpool.Get().([]stream.WItem)
+	}
+	p.wbuf = append(p.wbuf, stream.WItem{Key: it, Weight: weight})
+	if len(p.wbuf) == p.cfg.BatchSize {
+		p.dispatch(batchMsg{witems: p.wbuf, pooled: true})
+		p.wbuf = p.wpool.Get().([]stream.WItem)
 	}
 }
 
@@ -290,6 +420,9 @@ func (p *Pipeline[E]) FeedSlice(items stream.Slice) {
 		panic("pipeline: FeedSlice after Close")
 	}
 	b := p.cfg.BatchSize
+	if len(p.wbuf) > 0 {
+		p.flushWeighted()
+	}
 	// Flush any partial hand-fed batch first to preserve stream order
 	// within each shard's view.
 	i := 0
@@ -299,10 +432,39 @@ func (p *Pipeline[E]) FeedSlice(items stream.Slice) {
 	}
 	for ; i+b <= len(items); i += b {
 		p.fed += uint64(b)
+		p.fedW += float64(b)
 		p.dispatch(batchMsg{items: items[i : i+b]})
 	}
 	for ; i < len(items); i++ {
 		p.Feed(items[i])
+	}
+}
+
+// FeedWeightedSlice ingests a materialized weighted stream zero-copy,
+// the weighted mirror of FeedSlice: full batch-sized windows dispatch as
+// sub-slices, the trailing partial window goes through FeedWeighted.
+func (p *Pipeline[E]) FeedWeightedSlice(items stream.WSlice) {
+	if p.closed {
+		panic("pipeline: FeedWeightedSlice after Close")
+	}
+	b := p.cfg.BatchSize
+	if len(p.buf) > 0 {
+		p.flushPlain()
+	}
+	i := 0
+	for len(p.wbuf) > 0 && i < len(items) {
+		p.FeedWeighted(items[i].Key, items[i].Weight)
+		i++
+	}
+	for ; i+b <= len(items); i += b {
+		p.fed += uint64(b)
+		for _, it := range items[i : i+b] {
+			p.fedW += it.Weight
+		}
+		p.dispatch(batchMsg{witems: items[i : i+b]})
+	}
+	for ; i < len(items); i++ {
+		p.FeedWeighted(items[i].Key, items[i].Weight)
 	}
 }
 
@@ -317,6 +479,9 @@ func (p *Pipeline[E]) FeedCopy(items []stream.Item) {
 	if p.closed {
 		panic("pipeline: FeedCopy after Close")
 	}
+	if len(p.wbuf) > 0 {
+		p.flushWeighted()
+	}
 	b := p.cfg.BatchSize
 	for len(items) > 0 {
 		n := b - len(p.buf)
@@ -326,9 +491,43 @@ func (p *Pipeline[E]) FeedCopy(items []stream.Item) {
 		p.buf = append(p.buf, items[:n]...)
 		items = items[n:]
 		p.fed += uint64(n)
+		p.fedW += float64(n)
 		if len(p.buf) == b {
 			p.dispatch(batchMsg{items: p.buf, pooled: true})
 			p.buf = p.pool.Get().([]stream.Item)
+		}
+	}
+}
+
+// FeedWeightedCopy ingests a chunk of weighted items by bulk-copying
+// them into pooled weighted batch buffers — the weighted mirror of
+// FeedCopy, with the same ownership contract: the caller may reuse the
+// backing array as soon as the call returns.
+func (p *Pipeline[E]) FeedWeightedCopy(items []stream.WItem) {
+	if p.closed {
+		panic("pipeline: FeedWeightedCopy after Close")
+	}
+	if len(p.buf) > 0 {
+		p.flushPlain()
+	}
+	b := p.cfg.BatchSize
+	for len(items) > 0 {
+		if p.wbuf == nil {
+			p.wbuf = p.wpool.Get().([]stream.WItem)
+		}
+		n := b - len(p.wbuf)
+		if n > len(items) {
+			n = len(items)
+		}
+		p.wbuf = append(p.wbuf, items[:n]...)
+		for _, it := range items[:n] {
+			p.fedW += it.Weight
+		}
+		items = items[n:]
+		p.fed += uint64(n)
+		if len(p.wbuf) == b {
+			p.dispatch(batchMsg{witems: p.wbuf, pooled: true})
+			p.wbuf = p.wpool.Get().([]stream.WItem)
 		}
 	}
 }
@@ -362,7 +561,34 @@ func (p *Pipeline[E]) FeedOwned(items stream.Slice, release func()) {
 	// within each shard's view.
 	p.Flush()
 	p.fed += uint64(len(items))
+	p.fedW += float64(len(items))
 	p.dispatch(batchMsg{items: items, release: release})
+}
+
+// FeedWeightedOwned transfers ownership of a weighted chunk to the
+// pipeline, the weighted mirror of FeedOwned: one shard receives the
+// whole chunk as a single batch and release — if non-nil — fires exactly
+// once after the last item is applied. Chunk-granular placement is safe
+// for VarOpt replicas for the merge-based reason in doc.go (not the
+// commutation argument Bernoulli sampling enjoys): each shard holds a
+// valid sample of whatever sub-stream it received, and the merge path
+// folds shard samples into a sample of the union.
+func (p *Pipeline[E]) FeedWeightedOwned(items stream.WSlice, release func()) {
+	if p.closed {
+		panic("pipeline: FeedWeightedOwned after Close")
+	}
+	if len(items) == 0 {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	p.Flush()
+	p.fed += uint64(len(items))
+	for _, it := range items {
+		p.fedW += it.Weight
+	}
+	p.dispatch(batchMsg{witems: items, release: release})
 }
 
 // FeedStream ingests every item of s through the batching Feed path.
@@ -373,12 +599,24 @@ func (p *Pipeline[E]) FeedStream(s stream.Stream) {
 	})
 }
 
-// Flush dispatches the buffered partial batch, if any.
+// Flush dispatches the buffered partial batches (both lanes), if any.
 func (p *Pipeline[E]) Flush() {
 	if len(p.buf) > 0 {
-		p.dispatch(batchMsg{items: p.buf, pooled: true})
-		p.buf = p.pool.Get().([]stream.Item)
+		p.flushPlain()
 	}
+	if len(p.wbuf) > 0 {
+		p.flushWeighted()
+	}
+}
+
+func (p *Pipeline[E]) flushPlain() {
+	p.dispatch(batchMsg{items: p.buf, pooled: true})
+	p.buf = p.pool.Get().([]stream.Item)
+}
+
+func (p *Pipeline[E]) flushWeighted() {
+	p.dispatch(batchMsg{witems: p.wbuf, pooled: true})
+	p.wbuf = p.wpool.Get().([]stream.WItem)
 }
 
 // Sync flushes the buffered partial batch and blocks until every batch
@@ -457,6 +695,21 @@ func (p *Pipeline[E]) Kept() uint64 {
 	return total
 }
 
+// FedWeight returns the total weight ingested by the producer so far;
+// unweighted items count at weight 1, so on an unweighted stream it
+// equals float64(Fed()).
+func (p *Pipeline[E]) FedWeight() float64 { return p.fedW }
+
+// KeptWeight returns the total weight that reached the estimators, the
+// weight analogue of Kept, with the same trailing-while-feeding caveat.
+func (p *Pipeline[E]) KeptWeight() float64 {
+	var total float64
+	for i := range p.kept {
+		total += math.Float64frombits(p.kept[i].w.Load())
+	}
+	return total
+}
+
 // Stats is a point-in-time instrumentation snapshot of a pipeline: the
 // shape (shards, batch size, queue capacity), the producer's progress
 // (items fed, batches dispatched, Sync rounds and cumulative Sync
@@ -471,6 +724,11 @@ type Stats struct {
 	Fed     uint64
 	Kept    uint64
 	Batches uint64
+
+	// FedWeight and KeptWeight are the weight analogues of Fed and Kept;
+	// unweighted items count at weight 1.
+	FedWeight  float64
+	KeptWeight float64
 
 	Syncs    uint64
 	SyncWait time.Duration
@@ -488,14 +746,16 @@ type Stats struct {
 // and atomics.
 func (p *Pipeline[E]) Stats() Stats {
 	s := Stats{
-		Shards:    len(p.rings),
-		BatchSize: p.cfg.BatchSize,
-		QueueCap:  p.rings[0].cap(),
-		Fed:       p.fed,
-		Kept:      p.Kept(),
-		Batches:   p.batches,
-		Syncs:     p.syncs,
-		SyncWait:  p.syncWait,
+		Shards:     len(p.rings),
+		BatchSize:  p.cfg.BatchSize,
+		QueueCap:   p.rings[0].cap(),
+		Fed:        p.fed,
+		Kept:       p.Kept(),
+		FedWeight:  p.fedW,
+		KeptWeight: p.KeptWeight(),
+		Batches:    p.batches,
+		Syncs:      p.syncs,
+		SyncWait:   p.syncWait,
 	}
 	for _, r := range p.rings {
 		s.Queued += r.len()

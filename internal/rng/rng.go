@@ -8,6 +8,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 )
@@ -60,6 +61,21 @@ func New(seed uint64) *Xoshiro256 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
 	return &x
+}
+
+// State returns the generator's 256-bit state vector, for serializers
+// that must reconstruct the exact generator (a decoded summary continues
+// the same pseudo-random stream its source would have).
+func (x *Xoshiro256) State() [4]uint64 { return x.s }
+
+// FromState reconstructs a Xoshiro256 from a State() vector. The all-zero
+// vector is the one state the generator cannot leave, so it is rejected —
+// it can only come from corrupt input, never from State().
+func FromState(s [4]uint64) (*Xoshiro256, error) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return nil, fmt.Errorf("rng: all-zero xoshiro256 state")
+	}
+	return &Xoshiro256{s: s}, nil
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

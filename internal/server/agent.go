@@ -156,6 +156,13 @@ func (a *Agent) registerPipelineMetrics() {
 			func(s pipeline.Stats) float64 { return float64(s.Fed) }},
 		{"agent_stream_kept", "items kept after in-shard sampling, by stream", obs.KindCounter,
 			func(s pipeline.Stats) float64 { return float64(s.Kept) }},
+		// The weight families count WEIGHT, not items: unweighted items
+		// contribute 1 each, so on a purely unweighted stream they shadow
+		// agent_stream_fed / agent_stream_kept.
+		{"agent_stream_fed_weight", "total weight fed to the pipeline, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return s.FedWeight }},
+		{"agent_stream_kept_weight", "total weight kept after in-shard sampling, by stream", obs.KindCounter,
+			func(s pipeline.Stats) float64 { return s.KeptWeight }},
 	}
 	for _, fam := range families {
 		read := fam.read
@@ -178,6 +185,7 @@ func (a *Agent) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/streams/{name}", a.handleDelete)
 	mux.HandleFunc("POST /v1/streams/{name}/ingest", a.handleIngest)
 	mux.HandleFunc("GET /v1/streams/{name}/estimate", a.handleEstimate)
+	mux.HandleFunc("GET /v1/streams/{name}/subsetsum", a.handleSubsetSum)
 	mux.HandleFunc("POST /v1/streams/{name}/flush", a.handleFlushOne)
 	mux.HandleFunc("POST /v1/flush", a.handleFlushAll)
 	mux.HandleFunc("POST /flush", a.handleFlushAll)
@@ -324,7 +332,7 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
 		return
 	}
-	isBinary, err := parseIngestType(r.Header.Get("Content-Type"))
+	format, err := parseIngestType(r.Header.Get("Content-Type"))
 	if err != nil {
 		a.metrics.IngestErrors.With(causeContentType).Inc()
 		writeError(w, http.StatusBadRequest, "bad ingest body: %v", err)
@@ -349,7 +357,9 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if sampled {
 		start = time.Now()
 	}
-	if isBinary {
+	var n int
+	switch format {
+	case formatBinary:
 		// Binary bodies stream through pooled chunk buffers that are
 		// handed to the pipeline with ownership — no per-request
 		// allocation, no materialized request, and no copy between the
@@ -369,36 +379,52 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 				feed += time.Since(t0)
 			}
 		}
-		n, err := decodeBinaryStreamOwned(body, sink)
+		n, err = decodeBinaryStreamOwned(body, sink)
+	case formatBinaryWeighted:
+		// Weighted binary bodies ride the same ownership-transfer shape
+		// through their own chunk pool (16-byte records halve the items
+		// per chunk, not the bytes).
+		sink := func(chunk stream.WSlice, release func()) {
+			st.run.ingestWeightedOwned(chunk, release)
+		}
 		if sampled {
-			a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
-			a.metrics.ShardFeed.Observe(feed.Seconds())
+			sink = func(chunk stream.WSlice, release func()) {
+				t0 := time.Now()
+				st.run.ingestWeightedOwned(chunk, release)
+				feed += time.Since(t0)
+			}
 		}
-		st.items.Add(uint64(n))
-		st.bytes.Add(uint64(body.n))
-		if err != nil {
-			a.metrics.IngestErrors.With(causeDecode).Inc()
-			writeError(w, http.StatusBadRequest, "bad ingest body after %d items: %v", n, err)
-			return
+		n, err = decodeWeightedBinaryStreamOwned(body, sink)
+	case formatTextWeighted:
+		sink := func(chunk stream.WSlice) {
+			st.run.ingestWeightedCopy(chunk)
 		}
-		writeIngested(w, n)
-		return
-	}
-	// Text bodies stream through the same pooled chunk shape as binary
-	// ones (the whole-body materialization this path once did made text
-	// ingest allocation-bound); chunks are copied into the pipeline's
-	// batch buffers, so the decode buffers recycle per call.
-	sink := func(chunk stream.Slice) {
-		st.run.ingestCopy(chunk)
-	}
-	if sampled {
-		sink = func(chunk stream.Slice) {
-			t0 := time.Now()
+		if sampled {
+			sink = func(chunk stream.WSlice) {
+				t0 := time.Now()
+				st.run.ingestWeightedCopy(chunk)
+				feed += time.Since(t0)
+			}
+		}
+		n, err = decodeWeightedTextStream(body, sink)
+	default:
+		// Text bodies stream through the same pooled chunk shape as
+		// binary ones (the whole-body materialization this path once did
+		// made text ingest allocation-bound); chunks are copied into the
+		// pipeline's batch buffers, so the decode buffers recycle per
+		// call.
+		sink := func(chunk stream.Slice) {
 			st.run.ingestCopy(chunk)
-			feed += time.Since(t0)
 		}
+		if sampled {
+			sink = func(chunk stream.Slice) {
+				t0 := time.Now()
+				st.run.ingestCopy(chunk)
+				feed += time.Since(t0)
+			}
+		}
+		n, err = decodeTextStream(body, sink)
 	}
-	n, err := decodeTextStream(body, sink)
 	if sampled {
 		a.metrics.IngestDecode.Observe((time.Since(start) - feed).Seconds())
 		a.metrics.ShardFeed.Observe(feed.Seconds())
@@ -406,7 +432,11 @@ func (a *Agent) handleIngest(w http.ResponseWriter, r *http.Request) {
 	st.items.Add(uint64(n))
 	st.bytes.Add(uint64(body.n))
 	if err != nil {
-		a.metrics.IngestErrors.With(causeDecode).Inc()
+		cause := causeDecode
+		if errors.Is(err, errBadWeight) {
+			cause = causeBadWeight
+		}
+		a.metrics.IngestErrors.With(cause).Inc()
 		writeError(w, http.StatusBadRequest, "bad ingest body after %d items: %v", n, err)
 		return
 	}

@@ -3,9 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -14,11 +17,34 @@ import (
 
 // Ingest body formats. Text is one decimal item per line (blank lines
 // skipped); binary is fixed 8-byte little-endian items, the
-// length-delimited fast path a forwarding monitor would use.
+// length-delimited fast path a forwarding monitor would use. The
+// weighted variants carry (item, weight) pairs: text as an optional
+// second column per line (weight 1 when absent), binary as fixed
+// 16-byte records — 8-byte little-endian key followed by the weight's
+// float64 bits, little-endian. Unweighted requests never pay for the
+// weight column: they keep their own content types, decoders, and
+// pools, byte-identical to the pre-weighted wire.
 const (
-	ContentTypeText   = "text/plain"
-	ContentTypeBinary = "application/octet-stream"
+	ContentTypeText           = "text/plain"
+	ContentTypeBinary         = "application/octet-stream"
+	ContentTypeTextWeighted   = "text/vnd.substream.weighted"
+	ContentTypeBinaryWeighted = "application/vnd.substream.witem"
 )
+
+// ingestFormat is the decoded Content-Type of an ingest request.
+type ingestFormat int
+
+const (
+	formatText ingestFormat = iota
+	formatBinary
+	formatTextWeighted
+	formatBinaryWeighted
+)
+
+// errBadWeight marks a weighted record whose weight is unusable; the
+// ingest handler maps it to its own error cause (bad_weight) so a
+// misbehaving exporter is distinguishable from garbled framing.
+var errBadWeight = errors.New("weight is not positive and finite")
 
 // binaryChunkItems is the number of items decoded per pooled chunk: a
 // 64 KiB read buffer's worth, matching the old one-shot scratch size
@@ -40,11 +66,23 @@ var (
 		s := make(stream.Slice, 0, binaryChunkItems)
 		return &s
 	}}
+	witemsPool = sync.Pool{New: func() any {
+		s := make(stream.WSlice, 0, weightedChunkItems)
+		return &s
+	}}
 )
 
+// weightedChunkItems is the weighted decode chunk size: records are 16
+// bytes, so half the unweighted count fills the same 64 KiB scratch
+// buffer — per-request memory stays one chunk in both formats.
+const weightedChunkItems = binaryChunkItems / 2
+
 // parseIngestType normalizes an ingest request's Content-Type: empty and
-// text/* select the text format, ContentTypeBinary the binary one.
-func parseIngestType(contentType string) (binary bool, err error) {
+// text/* select the text format, ContentTypeBinary the binary one, and
+// the two weighted types their weighted counterparts. The weighted text
+// type is matched before the text/* prefix rule it would otherwise fall
+// into.
+func parseIngestType(contentType string) (ingestFormat, error) {
 	ct := contentType
 	if ct != "" {
 		if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
@@ -52,13 +90,18 @@ func parseIngestType(contentType string) (binary bool, err error) {
 		}
 	}
 	switch {
+	case ct == ContentTypeTextWeighted:
+		return formatTextWeighted, nil
+	case ct == ContentTypeBinaryWeighted:
+		return formatBinaryWeighted, nil
 	case ct == "" || strings.HasPrefix(ct, "text/"):
-		return false, nil
+		return formatText, nil
 	case ct == ContentTypeBinary:
-		return true, nil
+		return formatBinary, nil
 	default:
-		return false, fmt.Errorf("unsupported content type %q (want %s or %s)",
-			contentType, ContentTypeText, ContentTypeBinary)
+		return formatText, fmt.Errorf("unsupported content type %q (want %s, %s, %s or %s)",
+			contentType, ContentTypeText, ContentTypeBinary,
+			ContentTypeTextWeighted, ContentTypeBinaryWeighted)
 	}
 }
 
@@ -74,15 +117,30 @@ type ownedChunk struct {
 	release func()
 }
 
-var chunkPool sync.Pool
+// ownedWChunk is ownedChunk's weighted twin, backing the zero-copy
+// weighted binary ingest path with the same aliasing guarantee.
+type ownedWChunk struct {
+	items   stream.WSlice
+	release func()
+}
+
+var (
+	chunkPool  sync.Pool
+	wchunkPool sync.Pool
+)
 
 func init() {
-	// Assigned in init: the release closure mentions chunkPool, which a
+	// Assigned in init: the release closures mention their pools, which a
 	// composite-literal initializer would report as an initialization
 	// cycle.
 	chunkPool.New = func() any {
 		c := &ownedChunk{items: make(stream.Slice, 0, binaryChunkItems)}
 		c.release = func() { chunkPool.Put(c) }
+		return c
+	}
+	wchunkPool.New = func() any {
+		c := &ownedWChunk{items: make(stream.WSlice, 0, weightedChunkItems)}
+		c.release = func() { wchunkPool.Put(c) }
 		return c
 	}
 }
@@ -306,6 +364,211 @@ func parseBinaryItems(buf []byte, items stream.Slice) (stream.Slice, error) {
 			return items, fmt.Errorf("item 0 is outside the 1-based universe")
 		}
 		items = append(items, stream.Item(v))
+	}
+	return items, nil
+}
+
+// decodeWeightedTextStream reads a "key weight"-per-line text body (the
+// weight column optional, defaulting to 1, so unweighted files parse
+// too) and hands the pairs to sink in pooled chunks, mirroring
+// decodeTextStream's shape and contracts: sink owns its argument only
+// for the duration of the call, chunks already handed to sink stay
+// consumed on a mid-body error.
+func decodeWeightedTextStream(body io.Reader, sink func(stream.WSlice)) (int, error) {
+	bufp := scratchPool.Get().(*[]byte)
+	itemsp := witemsPool.Get().(*stream.WSlice)
+	total, err := decodeWeightedTextChunks(body, *bufp, (*itemsp)[:0], sink)
+	scratchPool.Put(bufp)
+	witemsPool.Put(itemsp)
+	return total, err
+}
+
+func decodeWeightedTextChunks(body io.Reader, buf []byte, items stream.WSlice, sink func(stream.WSlice)) (int, error) {
+	total, line, fill := 0, 0, 0
+	flush := func() {
+		if len(items) > 0 {
+			sink(items)
+			total += len(items)
+			items = items[:0]
+		}
+	}
+	for {
+		n, rerr := body.Read(buf[fill:])
+		end := fill + n
+		pos := 0
+		for {
+			idx := bytes.IndexByte(buf[pos:end], '\n')
+			if idx < 0 {
+				break
+			}
+			line++
+			it, ok, err := parseWeightedTextLine(buf[pos:pos+idx], line)
+			pos += idx + 1
+			if err != nil {
+				flush()
+				return total, err
+			}
+			if !ok {
+				continue
+			}
+			items = append(items, it)
+			if len(items) == cap(items) {
+				flush()
+			}
+		}
+		fill = copy(buf, buf[pos:end])
+		switch {
+		case rerr == io.EOF:
+			if fill > 0 { // final line without a newline
+				line++
+				it, ok, err := parseWeightedTextLine(buf[:fill], line)
+				if err != nil {
+					flush()
+					return total, err
+				}
+				if ok {
+					items = append(items, it)
+				}
+			}
+			flush()
+			return total, nil
+		case rerr != nil:
+			flush()
+			return total, rerr
+		case fill == len(buf):
+			flush()
+			return total, fmt.Errorf("line %d exceeds the %d-byte line limit", line+1, len(buf))
+		}
+		flush()
+	}
+}
+
+// parseWeightedTextLine parses one weighted line: "key weight", "key"
+// (weight 1), a blank (ok == false), or an error. The key column reuses
+// the unweighted parser, so key diagnostics match the plain text path.
+func parseWeightedTextLine(b []byte, line int) (it stream.WItem, ok bool, err error) {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	keyPart, weightPart := b, []byte(nil)
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		keyPart, weightPart = b[:i], b[i+1:]
+	}
+	v, ok, err := parseTextLine(keyPart, line)
+	if err != nil || !ok {
+		return stream.WItem{}, ok, err
+	}
+	weight := 1.0
+	if len(weightPart) > 0 {
+		weight, err = strconv.ParseFloat(string(weightPart), 64)
+		if err != nil {
+			return stream.WItem{}, false, fmt.Errorf("line %d: %w: %q", line, errBadWeight, weightPart)
+		}
+		if !(weight > 0) || math.IsInf(weight, 0) {
+			return stream.WItem{}, false, fmt.Errorf("line %d: %w: %v", line, errBadWeight, weight)
+		}
+	}
+	return stream.WItem{Key: stream.Item(v), Weight: weight}, true, nil
+}
+
+// decodeWeightedBinaryStream reads fixed 16-byte little-endian (key,
+// weight) records and hands them to sink in chunks of at most
+// weightedChunkItems, with decodeBinaryStream's pooling and error
+// contracts.
+func decodeWeightedBinaryStream(body io.Reader, sink func(stream.WSlice)) (int, error) {
+	bufp := scratchPool.Get().(*[]byte)
+	itemsp := witemsPool.Get().(*stream.WSlice)
+	total, err := decodeWeightedBinaryChunks(body, *bufp, (*itemsp)[:0], sink)
+	scratchPool.Put(bufp)
+	witemsPool.Put(itemsp)
+	return total, err
+}
+
+func decodeWeightedBinaryChunks(body io.Reader, buf []byte, items stream.WSlice, sink func(stream.WSlice)) (int, error) {
+	total := 0
+	fill := 0 // bytes of a partial trailing record carried between reads
+	for {
+		n, err := io.ReadFull(body, buf[fill:])
+		n += fill
+		complete := n - n%16
+		var perr error
+		items, perr = parseBinaryWItems(buf[:complete], items[:0])
+		if perr != nil {
+			return total, perr
+		}
+		if len(items) > 0 {
+			sink(items)
+			total += len(items)
+		}
+		fill = copy(buf, buf[complete:n])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if fill != 0 {
+				return total, fmt.Errorf("weighted item stream truncated mid-record (%d trailing bytes)", fill)
+			}
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// decodeWeightedBinaryStreamOwned is the ownership-transfer variant of
+// decodeWeightedBinaryStream, with decodeBinaryStreamOwned's contract:
+// sink must guarantee release is eventually called exactly once per
+// chunk, on any path.
+func decodeWeightedBinaryStreamOwned(body io.Reader, sink func(items stream.WSlice, release func())) (int, error) {
+	bufp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(bufp)
+	buf := *bufp
+	total := 0
+	fill := 0
+	for {
+		n, err := io.ReadFull(body, buf[fill:])
+		n += fill
+		complete := n - n%16
+		c := wchunkPool.Get().(*ownedWChunk)
+		items, perr := parseBinaryWItems(buf[:complete], c.items[:0])
+		c.items = items[:0]
+		if perr != nil {
+			c.release()
+			return total, perr
+		}
+		if len(items) > 0 {
+			total += len(items)
+			sink(items, c.release)
+		} else {
+			c.release()
+		}
+		fill = copy(buf, buf[complete:n])
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if fill != 0 {
+				return total, fmt.Errorf("weighted item stream truncated mid-record (%d trailing bytes)", fill)
+			}
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// parseBinaryWItems appends the 16-byte records of buf (whose length
+// must be a multiple of 16) to items: an 8-byte little-endian key
+// followed by the weight's float64 bits. Zero keys and weights that are
+// not positive and finite are rejected.
+func parseBinaryWItems(buf []byte, items stream.WSlice) (stream.WSlice, error) {
+	for off := 0; off+16 <= len(buf); off += 16 {
+		b := buf[off : off+16 : off+16]
+		k := binary.LittleEndian.Uint64(b[0:8])
+		w := math.Float64frombits(binary.LittleEndian.Uint64(b[8:16]))
+		if k == 0 {
+			return items, fmt.Errorf("item 0 is outside the 1-based universe")
+		}
+		if !(w > 0) || math.IsInf(w, 0) {
+			return items, fmt.Errorf("record %d: %w: %v", off/16, errBadWeight, w)
+		}
+		items = append(items, stream.WItem{Key: stream.Item(k), Weight: w})
 	}
 	return items, nil
 }

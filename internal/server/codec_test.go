@@ -166,19 +166,22 @@ func TestIngestRejectsDeclaredOversizeAtomically(t *testing.T) {
 func TestParseIngestType(t *testing.T) {
 	cases := []struct {
 		ct      string
-		binary  bool
+		format  ingestFormat
 		wantErr bool
 	}{
-		{"", false, false},
-		{ContentTypeText, false, false},
-		{"text/plain; charset=utf-8", false, false},
-		{ContentTypeBinary, true, false},
-		{"application/json", false, true},
+		{"", formatText, false},
+		{ContentTypeText, formatText, false},
+		{"text/plain; charset=utf-8", formatText, false},
+		{ContentTypeBinary, formatBinary, false},
+		{ContentTypeTextWeighted, formatTextWeighted, false},
+		{ContentTypeTextWeighted + "; charset=utf-8", formatTextWeighted, false},
+		{ContentTypeBinaryWeighted, formatBinaryWeighted, false},
+		{"application/json", formatText, true},
 	}
 	for _, c := range cases {
-		bin, err := parseIngestType(c.ct)
-		if (err != nil) != c.wantErr || bin != c.binary {
-			t.Fatalf("parseIngestType(%q) = (%v, %v), want (%v, err=%v)", c.ct, bin, err, c.binary, c.wantErr)
+		format, err := parseIngestType(c.ct)
+		if (err != nil) != c.wantErr || format != c.format {
+			t.Fatalf("parseIngestType(%q) = (%v, %v), want (%v, err=%v)", c.ct, format, err, c.format, c.wantErr)
 		}
 	}
 }

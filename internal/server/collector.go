@@ -163,6 +163,7 @@ func (c *Collector) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/collect", c.handleCollect)
 	mux.HandleFunc("GET /v1/streams", c.handleList)
 	mux.HandleFunc("GET /v1/streams/{name}/estimate", c.handleEstimate)
+	mux.HandleFunc("GET /v1/subsetsum", c.handleSubsetSum)
 	mux.HandleFunc("DELETE /v1/streams/{name}", c.handleDelete)
 	addOps(mux, "collector", c.metrics)
 	return withRequestLog(c.logger, mux)

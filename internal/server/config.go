@@ -260,6 +260,16 @@ type streamRunner interface {
 	// been applied (immediately, if the runner is already closed) — the
 	// ownership-transfer decode path depends on this.
 	ingestOwned(items stream.Slice, release func())
+	// ingestWeightedCopy and ingestWeightedOwned are the weighted-lane
+	// mirrors of ingestCopy and ingestOwned, with identical ownership
+	// contracts.
+	ingestWeightedCopy(items stream.WSlice)
+	ingestWeightedOwned(items stream.WSlice, release func())
+	// subsetSum folds the shard replicas and answers the weighted
+	// subset-sum query, window-scoped when windowScope is set. ok is
+	// false when the stream's stat (or the requested scope) has no
+	// subset-sum capability — a configuration error, not a zero.
+	subsetSum(pred func(stream.Item) bool, windowScope bool) (v float64, ok bool, err error)
 	estimates() (Estimates, error)
 	snapshot() (payload []byte, epoch uint64, fed, kept uint64, err error)
 	counts() (fed, kept uint64)
@@ -341,6 +351,62 @@ func (r *runner) ingestOwned(items stream.Slice, release func()) {
 		return
 	}
 	r.pl.FeedOwned(items, release)
+}
+
+func (r *runner) ingestWeightedCopy(items stream.WSlice) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.pl.FeedWeightedCopy(items)
+}
+
+func (r *runner) ingestWeightedOwned(items stream.WSlice, release func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		if release != nil {
+			release()
+		}
+		return
+	}
+	r.pl.FeedWeightedOwned(items, release)
+}
+
+func (r *runner) subsetSum(pred func(stream.Item) bool, windowScope bool) (float64, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	acc, err := r.merged()
+	if err != nil {
+		return 0, false, err
+	}
+	return subsetSumOf(acc, pred, windowScope)
+}
+
+// subsetSumOf answers a subset-sum query against one folded estimator.
+// Windowed streams need the special case: *window.Estimator deliberately
+// does NOT satisfy estimator.Summer (its scoped answers carry an ok
+// bool), so the wrapper is unwrapped and asked in the requested scope.
+func subsetSumOf(acc estimator.Estimator, pred func(stream.Item) bool, windowScope bool) (float64, bool, error) {
+	if we, ok := estimator.Unwrap(acc).(*window.Estimator); ok {
+		if windowScope {
+			v, ok := we.WindowSubsetSum(pred)
+			return v, ok, nil
+		}
+		v, ok := we.SubsetSum(pred)
+		return v, ok, nil
+	}
+	if windowScope {
+		// A window-scoped query needs a windowed stream; the cumulative
+		// answer would silently widen the asked-for scope.
+		return 0, false, nil
+	}
+	s, ok := estimator.SummerOf(acc)
+	if !ok {
+		return 0, false, nil
+	}
+	return s.SubsetSum(pred), true, nil
 }
 
 // merged quiesces the pipeline and folds every shard replica into a
@@ -427,22 +493,30 @@ func buildFolder(cfg StreamConfig) folder {
 	return folder{newAcc: cfg.newEstimator()}
 }
 
-func (f folder) foldDecoded(states []estimator.Estimator) (Estimates, error) {
+// foldStates merges the retained states into a fresh accumulator:
+// Merge mutates only its receiver, so the per-agent states stay
+// pristine across queries. A payload whose kind disagrees with the
+// declared stat fails the type check inside Merge.
+func (f folder) foldStates(states []estimator.Estimator) (estimator.Estimator, error) {
 	if len(states) == 0 {
-		return Estimates{}, fmt.Errorf("no summaries to fold")
+		return nil, fmt.Errorf("no summaries to fold")
 	}
-	// Merge into a fresh accumulator: Merge mutates only its receiver,
-	// so the retained per-agent states stay pristine across queries. A
-	// payload whose kind disagrees with the declared stat fails the
-	// type check inside Merge.
 	acc, err := f.newAcc()
 	if err != nil {
-		return Estimates{}, err
+		return nil, err
 	}
 	for _, s := range states {
 		if err := acc.Merge(s); err != nil {
-			return Estimates{}, err
+			return nil, err
 		}
+	}
+	return acc, nil
+}
+
+func (f folder) foldDecoded(states []estimator.Estimator) (Estimates, error) {
+	acc, err := f.foldStates(states)
+	if err != nil {
+		return Estimates{}, err
 	}
 	return estimator.ReportOf(acc), nil
 }

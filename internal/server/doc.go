@@ -49,7 +49,9 @@
 //     from the concrete ranges around it), and internal/quantile owns
 //     0x40–0x4f (quantile 0x40, CKMS targeted streaming quantiles —
 //     a concrete kind, so it nests inside window payloads like the
-//     ranges below 0x30).
+//     ranges below 0x30), and internal/sample owns 0x50–0x5f (varopt
+//     0x50, the VarOpt-k weighted reservoir behind subset-sum queries;
+//     concrete, so it too nests inside window payloads).
 //   - Decoders reject unknown tags, unknown versions, truncated input,
 //     trailing bytes, and any length field larger than the remaining
 //     buffer could hold — corrupt input must fail cleanly, never panic
@@ -76,26 +78,44 @@
 //
 // # Ingest path
 //
-// POST /v1/streams/{name}/ingest accepts two body formats (codec.go):
-// text/plain, one decimal item per line, and application/octet-stream,
-// fixed 8-byte little-endian items. Both decode incrementally through
-// pooled 64 KiB buffers — a request body is never materialized, so
-// per-request memory is bounded by one chunk regardless of body size,
-// and steady-state decoding allocates nothing.
+// POST /v1/streams/{name}/ingest accepts four body formats (codec.go):
+// text/plain, one decimal item per line; application/octet-stream,
+// fixed 8-byte little-endian items; and their weighted counterparts —
+// text/vnd.substream.weighted, "key weight" per line with the weight
+// column optional (default 1), and application/vnd.substream.witem,
+// fixed 16-byte records of an 8-byte little-endian key followed by the
+// weight's float64 bits. Weights must be positive and finite; a bad
+// weight is its own error cause (bad_weight), distinct from garbled
+// framing. All four decode incrementally through pooled 64 KiB
+// buffers — a request body is never materialized, so per-request
+// memory is bounded by one chunk regardless of body size, and
+// steady-state decoding allocates nothing. The weighted formats have
+// their own content types, decoders, and pools precisely so the
+// unweighted hot path stays byte-identical to the pre-weighted wire.
 //
-// The binary path goes further and never copies: each decoded chunk is
+// The binary paths go further and never copy: each decoded chunk is
 // a pooled buffer handed to the stream's pipeline via
-// pipeline.FeedOwned together with a release closure, and the shard
-// worker returns the buffer to the pool after applying it. Chunks in
-// flight never alias — a buffer leaves the pool when the decoder fills
-// it and re-enters only when its consumer releases it. The text path
-// uses the copying feed (its bytes must be parsed anyway, so the copy
-// is free relative to parsing).
+// pipeline.FeedOwned (FeedWeightedOwned for weighted records) together
+// with a release closure, and the shard worker returns the buffer to
+// the pool after applying it. Chunks in flight never alias — a buffer
+// leaves the pool when the decoder fills it and re-enters only when
+// its consumer releases it. The text paths use the copying feed (their
+// bytes must be parsed anyway, so the copy is free relative to
+// parsing).
 //
-// On a mid-body error (zero item, malformed line, truncated record)
-// chunks already fed stay consumed — HTTP cannot roll them back — and
-// the 400 response reports how many items were applied before the
-// fault.
+// On a mid-body error (zero item, malformed line, truncated record,
+// unusable weight) chunks already fed stay consumed — HTTP cannot roll
+// them back — and the 400 response reports how many items were applied
+// before the fault.
+//
+// Weighted streams are queried through the subset-sum endpoints
+// (subsetsum.go): GET /v1/streams/{name}/subsetsum on an agent and
+// GET /v1/subsetsum?stream=... on a collector, both taking an IPv4
+// CIDR prefix (the address in the key's low 32 bits) and an optional
+// scope=window parameter. The answer is the Horvitz–Thompson subset
+// sum of the stream's VarOpt reservoir — or, at the collector, of the
+// CDKLT merge of every fresh agent's reservoir. Stats without the
+// subset-sum capability answer 400, never a silent zero.
 //
 // Ingest instrumentation is sampled: the decode/feed latency
 // histograms observe one request in AgentConfig.ObsSampleEvery
@@ -129,9 +149,10 @@
 //
 // Data-plane routes, for completeness — agent: PUT/DELETE
 // /v1/streams/{name}, GET /v1/streams, POST /v1/streams/{name}/ingest,
-// GET /v1/streams/{name}/estimate, POST /v1/streams/{name}/flush,
-// POST /v1/flush (alias /flush); collector: POST /v1/collect,
-// GET /v1/streams, GET /v1/streams/{name}/estimate, DELETE
+// GET /v1/streams/{name}/estimate, GET /v1/streams/{name}/subsetsum,
+// POST /v1/streams/{name}/flush, POST /v1/flush (alias /flush);
+// collector: POST /v1/collect, GET /v1/streams,
+// GET /v1/streams/{name}/estimate, GET /v1/subsetsum, DELETE
 // /v1/streams/{name}.
 package server
 
@@ -143,4 +164,5 @@ package server
 import (
 	_ "substream/internal/core"
 	_ "substream/internal/quantile"
+	_ "substream/internal/sample"
 )

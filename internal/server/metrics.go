@@ -18,6 +18,11 @@ const (
 	causeContentType   = "content_type"
 	causeTooLarge      = "too_large"
 	causeDecode        = "decode"
+	// bad_weight splits weighted-record weight failures (zero, negative,
+	// NaN, infinite) out of the generic decode cause: a misconfigured
+	// exporter emitting unusable weights is a different operational
+	// problem than garbled framing.
+	causeBadWeight = "bad_weight"
 
 	// ship_errors causes
 	causeNoUpstream = "no_upstream"

@@ -18,7 +18,7 @@ import (
 // ingestCauses and collectCauses enumerate every cause label the audit
 // tests below sweep, so a counter bumped under an unexpected cause fails
 // the "all others unchanged" check instead of hiding.
-var ingestCauses = []string{causeUnknownStream, causeContentType, causeTooLarge, causeDecode}
+var ingestCauses = []string{causeUnknownStream, causeContentType, causeTooLarge, causeDecode, causeBadWeight}
 var collectCauses = []string{causeEnvelope, causeConfig, causePayload, causeConflict}
 
 // causeValues captures every cause child of a vec.
@@ -74,6 +74,17 @@ func TestIngestErrorCausesAudit(t *testing.T) {
 		{"binary decode", "/v1/streams/s/ingest", ContentTypeBinary, []byte{1, 2, 3}, 0,
 			http.StatusBadRequest, causeDecode},
 		{"text decode", "/v1/streams/s/ingest", "text/plain", []byte("not-a-number\n"), 0,
+			http.StatusBadRequest, causeDecode},
+		{"weighted binary truncated", "/v1/streams/s/ingest", ContentTypeBinaryWeighted, []byte{1, 2, 3}, 0,
+			http.StatusBadRequest, causeDecode},
+		{"weighted binary bad weight", "/v1/streams/s/ingest", ContentTypeBinaryWeighted,
+			encodeWeightedBinary([]uint64{7}, []float64{-2}), 0,
+			http.StatusBadRequest, causeBadWeight},
+		{"weighted text bad weight", "/v1/streams/s/ingest", ContentTypeTextWeighted, []byte("5 0\n"), 0,
+			http.StatusBadRequest, causeBadWeight},
+		{"weighted text unparseable weight", "/v1/streams/s/ingest", ContentTypeTextWeighted, []byte("5 heavy\n"), 0,
+			http.StatusBadRequest, causeBadWeight},
+		{"weighted text key decode", "/v1/streams/s/ingest", ContentTypeTextWeighted, []byte("x 2\n"), 0,
 			http.StatusBadRequest, causeDecode},
 	}
 	for _, tc := range cases {

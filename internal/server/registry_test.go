@@ -27,6 +27,8 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 		{0x30, "window"},
 		// internal/quantile: 0x40–0x4f
 		{0x40, "quantile"},
+		// internal/sample: 0x50–0x5f
+		{0x50, "varopt"},
 	}
 	kinds := estimator.Kinds()
 	if len(kinds) != len(want) {
@@ -50,8 +52,10 @@ func TestRegistryMatchesWireTable(t *testing.T) {
 			lo, hi = 0x20, 0x2f
 		case k.Tag <= 0x3f:
 			lo, hi = 0x30, 0x3f
-		default:
+		case k.Tag <= 0x4f:
 			lo, hi = 0x40, 0x4f
+		default:
+			lo, hi = 0x50, 0x5f
 		}
 		if k.Tag < lo || k.Tag > hi {
 			t.Errorf("kind %q tag %#x escapes its package range [%#x, %#x]", k.Name, k.Tag, lo, hi)

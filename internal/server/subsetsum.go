@@ -1,0 +1,186 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+
+	"substream/internal/estimator"
+	"substream/internal/stream"
+)
+
+// Subset-sum queries are the daemon-level rendering of the weighted
+// item model's Horvitz–Thompson estimator: "how much weight (bytes,
+// cost, latency budget) did keys matching a predicate carry?" The HTTP
+// surface expresses the predicate as an IPv4 CIDR prefix under the
+// netflow key convention — the address in the key's low 32 bits — so a
+// collector can be asked for "bytes from 10.0.0.0/8 across the fleet"
+// without shipping code.
+
+// subsetPred compiles an IPv4 CIDR prefix into the item predicate of a
+// subset-sum query. Keys carry the IPv4 address in their low 32 bits
+// (higher bits are free for ports or protocol tags and are masked off),
+// so a prefix matches the contiguous key range [network, broadcast].
+func subsetPred(prefix string) (func(stream.Item) bool, error) {
+	_, ipnet, err := net.ParseCIDR(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("bad prefix: %v", err)
+	}
+	ip4 := ipnet.IP.To4()
+	ones, bits := ipnet.Mask.Size()
+	if ip4 == nil || bits != 32 {
+		return nil, fmt.Errorf("prefix %q is not IPv4", prefix)
+	}
+	base := uint64(binary.BigEndian.Uint32(ip4))
+	hi := base | (uint64(1)<<uint(32-ones) - 1)
+	return func(it stream.Item) bool {
+		v := uint64(it) & 0xffff_ffff
+		return v >= base && v <= hi
+	}, nil
+}
+
+// subsetQuery parses the shared query parameters of the subset-sum
+// endpoints: prefix (required, IPv4 CIDR) and scope (cumulative —
+// the default — or window).
+func subsetQuery(r *http.Request) (pred func(stream.Item) bool, windowScope bool, prefix, scope string, err error) {
+	q := r.URL.Query()
+	prefix = q.Get("prefix")
+	if prefix == "" {
+		return nil, false, "", "", fmt.Errorf("subsetsum needs a prefix parameter (IPv4 CIDR, e.g. 10.0.0.0/8)")
+	}
+	pred, err = subsetPred(prefix)
+	if err != nil {
+		return nil, false, "", "", err
+	}
+	scope = q.Get("scope")
+	switch scope {
+	case "":
+		scope = "cumulative"
+	case "cumulative":
+	case "window":
+		windowScope = true
+	default:
+		return nil, false, "", "", fmt.Errorf("unknown scope %q (want cumulative or window)", scope)
+	}
+	return pred, windowScope, prefix, scope, nil
+}
+
+// handleSubsetSum answers a subset-sum query from the agent's local
+// shard replicas — the single-monitor view of the weight matching the
+// prefix.
+func (a *Agent) handleSubsetSum(w http.ResponseWriter, r *http.Request) {
+	a.metrics.EstimateQueries.Inc()
+	st, ok := a.lookup(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown stream %q", r.PathValue("name"))
+		return
+	}
+	pred, windowScope, prefix, scope, err := subsetQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, ok, err := st.run.subsetSum(pred, windowScope)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "subset sum failed: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"stream %q (stat %q) answers no subset sums in scope %q", st.name, st.cfg.Stat, scope)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": st.name, "prefix": prefix, "scope": scope, "subset_sum": v,
+	})
+}
+
+// SubsetSumResult is the collector's answer to one subset-sum query.
+type SubsetSumResult struct {
+	Value float64
+	// OK is false when the stream's stat (or the requested scope) has no
+	// subset-sum capability.
+	OK      bool
+	Agents  int
+	Skipped int
+}
+
+// SubsetSum folds the latest summary of every fresh agent of the stream
+// and answers the subset-sum query against the fold — the fleet-wide
+// weight matching the predicate, with Estimate's staleness rules.
+func (c *Collector) SubsetSum(name string, pred func(stream.Item) bool, windowScope bool) (SubsetSumResult, error) {
+	c.mu.RLock()
+	st, ok := c.streams[name]
+	if !ok {
+		c.mu.RUnlock()
+		return SubsetSumResult{}, fmt.Errorf("unknown stream %q", name)
+	}
+	now := c.cfg.Now()
+	var out SubsetSumResult
+	ids := make([]string, 0, len(st.agents))
+	for id, state := range st.agents {
+		if c.stale(state, now) {
+			out.Skipped++
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out.Agents = len(ids)
+	states := make([]estimator.Estimator, len(ids))
+	for i, id := range ids {
+		states[i] = st.agents[id].decoded
+	}
+	fold := st.fold
+	c.mu.RUnlock()
+
+	if len(states) == 0 && out.Skipped > 0 {
+		return out, fmt.Errorf("stream %q: all %d retained summaries are older than the max age",
+			name, out.Skipped)
+	}
+	acc, err := fold.foldStates(states)
+	if err != nil {
+		return out, err
+	}
+	out.Value, out.OK, err = subsetSumOf(acc, pred, windowScope)
+	return out, err
+}
+
+// handleSubsetSum answers GET /v1/subsetsum?stream=...&prefix=... at
+// the collector.
+func (c *Collector) handleSubsetSum(w http.ResponseWriter, r *http.Request) {
+	c.metrics.EstimateQueries.Inc()
+	name := r.URL.Query().Get("stream")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "subsetsum needs a stream parameter")
+		return
+	}
+	pred, windowScope, prefix, scope, err := subsetQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := c.SubsetSum(name, pred, windowScope)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case res.Skipped > 0 && res.Agents == 0:
+			status = http.StatusServiceUnavailable
+		case res.Agents == 0:
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	if !res.OK {
+		writeError(w, http.StatusBadRequest,
+			"stream %q answers no subset sums in scope %q", name, scope)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": name, "prefix": prefix, "scope": scope,
+		"agents": res.Agents, "skipped_stale": res.Skipped, "subset_sum": res.Value,
+	})
+}

@@ -14,6 +14,7 @@ import (
 
 	_ "substream/internal/core"
 	_ "substream/internal/quantile"
+	_ "substream/internal/sample"
 )
 
 // registryCorpus builds one well-formed payload per constructible kind,

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+	"strings"
 )
 
 // This file provides the codecs the command-line tools use to move streams
@@ -48,6 +50,73 @@ func ReadText(r io.Reader) (Slice, error) {
 			return nil, fmt.Errorf("stream: line %d: item 0 is outside the 1-based universe", line)
 		}
 		out = append(out, Item(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteWeightedText writes s as one "key weight" pair per line, the
+// weighted extension of the text form. The weight column is always
+// present on output; ReadWeightedText also accepts weightless lines
+// (implying weight 1), so unweighted files remain valid weighted input.
+func WriteWeightedText(w io.Writer, s WSlice) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range s {
+		if _, err := bw.WriteString(strconv.FormatUint(uint64(it.Key), 10)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(' '); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(it.Weight, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedText parses the weighted text form: one "key weight" pair
+// per line, the weight column optional (default 1) so plain unweighted
+// files parse too. Blank lines are skipped; zero keys and non-positive
+// or non-finite weights are errors.
+func ReadWeightedText(r io.Reader) (WSlice, error) {
+	var out WSlice
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		txt := sc.Text()
+		if txt == "" {
+			continue
+		}
+		keyTxt, wTxt := txt, ""
+		if i := strings.IndexByte(txt, ' '); i >= 0 {
+			keyTxt, wTxt = txt[:i], txt[i+1:]
+		}
+		v, err := strconv.ParseUint(keyTxt, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stream: line %d: %w", line, err)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("stream: line %d: key 0 is outside the 1-based universe", line)
+		}
+		weight := 1.0
+		if wTxt != "" {
+			weight, err = strconv.ParseFloat(wTxt, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stream: line %d: bad weight: %w", line, err)
+			}
+			if !(weight > 0) || math.IsInf(weight, 0) {
+				return nil, fmt.Errorf("stream: line %d: weight %v is not positive and finite", line, weight)
+			}
+		}
+		out = append(out, WItem{Key: Item(v), Weight: weight})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -110,6 +179,80 @@ func ReadBinary(r io.Reader) (Slice, error) {
 			return nil, fmt.Errorf("stream: item %d is 0, outside the 1-based universe", i)
 		}
 		out = append(out, Item(v))
+	}
+	return out, nil
+}
+
+// weightedMagic identifies the weighted binary stream format: the "sub1"
+// varint format plus a fixed 8-byte IEEE-754 weight after each key. A
+// distinct magic keeps old readers failing loudly on weighted files (and
+// vice versa) instead of misparsing the weight bytes as items.
+var weightedMagic = [4]byte{'s', 'u', 'b', 'w'}
+
+// WriteWeightedBinary writes s in the weighted binary format: magic,
+// varint count, then per item a varint key and a fixed little-endian
+// float64 weight.
+func WriteWeightedBinary(w io.Writer, s WSlice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(weightedMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	var wbuf [8]byte
+	for _, it := range s {
+		n := binary.PutUvarint(buf[:], uint64(it.Key))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(wbuf[:], math.Float64bits(it.Weight))
+		if _, err := bw.Write(wbuf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedBinary parses the weighted binary format produced by
+// WriteWeightedBinary.
+func ReadWeightedBinary(r io.Reader) (WSlice, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading magic: %w", err)
+	}
+	if magic != weightedMagic {
+		return nil, fmt.Errorf("stream: bad weighted magic %q", magic[:])
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading length: %w", err)
+	}
+	const maxReasonable = 1 << 34
+	if count > maxReasonable {
+		return nil, fmt.Errorf("stream: declared length %d exceeds limit", count)
+	}
+	out := make(WSlice, 0, count)
+	var wbuf [8]byte
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("stream: reading key %d: %w", i, err)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("stream: key %d is 0, outside the 1-based universe", i)
+		}
+		if _, err := io.ReadFull(br, wbuf[:]); err != nil {
+			return nil, fmt.Errorf("stream: reading weight %d: %w", i, err)
+		}
+		weight := math.Float64frombits(binary.LittleEndian.Uint64(wbuf[:]))
+		if !(weight > 0) || math.IsInf(weight, 0) {
+			return nil, fmt.Errorf("stream: weight %d (%v) is not positive and finite", i, weight)
+		}
+		out = append(out, WItem{Key: Item(v), Weight: weight})
 	}
 	return out, nil
 }

@@ -12,12 +12,73 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Item is a stream element: an identifier in the universe {1, …, m}.
 // The zero value is reserved (identifiers are 1-based, as in the paper),
 // which lets maps and codecs use 0 as a sentinel.
 type Item uint64
+
+// WItem is one element of a weighted stream: a key in the universe
+// {1, …, m} carrying a positive weight (bytes per packet, dollars per
+// event). A weight of 1 on every item recovers the unweighted model
+// exactly, which is the compatibility contract every weighted code path
+// in the library preserves.
+type WItem struct {
+	Key    Item
+	Weight float64
+}
+
+// WSlice is an in-memory weighted stream backed by a slice.
+type WSlice []WItem
+
+// Len returns the number of weighted items.
+func (s WSlice) Len() int { return len(s) }
+
+// TotalWeight returns the sum of the weights — the weighted stream's
+// analogue of the length n.
+func (s WSlice) TotalWeight() float64 {
+	var total float64
+	for _, it := range s {
+		total += it.Weight
+	}
+	return total
+}
+
+// Keys projects the weighted stream onto its key sequence, dropping the
+// weights.
+func (s WSlice) Keys() Slice {
+	out := make(Slice, len(s))
+	for i, it := range s {
+		out[i] = it.Key
+	}
+	return out
+}
+
+// Lift turns an unweighted stream into the equivalent weighted one:
+// every item carries weight 1.
+func Lift(items Slice) WSlice {
+	out := make(WSlice, len(items))
+	for i, it := range items {
+		out[i] = WItem{Key: it, Weight: 1}
+	}
+	return out
+}
+
+// ValidateWeighted checks that every key of s lies in {1, …, m} and every
+// weight is positive and finite.
+func ValidateWeighted(s WSlice, m uint64) error {
+	for i, it := range s {
+		if it.Key == 0 || uint64(it.Key) > m {
+			return fmt.Errorf("stream: key %d at position %d outside universe [1,%d]", it.Key, i, m)
+		}
+		if !(it.Weight > 0) || math.IsInf(it.Weight, 0) {
+			return fmt.Errorf("stream: weight %v at position %d is not positive and finite", it.Weight, i)
+		}
+	}
+	return nil
+}
 
 // Stream is a finite sequence of items that can be replayed from the
 // start. Replayability is what lets the experiment harness compute exact

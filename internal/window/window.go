@@ -265,6 +265,72 @@ func (e *Estimator) UpdateBatch(items []stream.Item) {
 	e.cum.UpdateBatch(items)
 }
 
+// ObserveWeighted feeds one weighted item into the current generation
+// and the cumulative replica — through each replica's native weighted
+// path when the inner kind has one, and the weight-1 projection (bare
+// key, observed once) otherwise. Windowed VarOpt reservoirs therefore
+// answer "weight from subnet X in the last W epochs" with no extra
+// plumbing.
+func (e *Estimator) ObserveWeighted(it stream.Item, weight float64) {
+	e.rotate()
+	observeWeighted(e.current(), it, weight)
+	observeWeighted(e.cum, it, weight)
+}
+
+func observeWeighted(dst estimator.Estimator, it stream.Item, weight float64) {
+	if w, ok := estimator.WeightedOf(dst); ok {
+		w.ObserveWeighted(it, weight)
+		return
+	}
+	dst.Observe(it)
+}
+
+// UpdateWeightedBatch feeds a weighted batch, rotating once per batch
+// like UpdateBatch.
+func (e *Estimator) UpdateWeightedBatch(items []stream.WItem) {
+	e.rotate()
+	updateWeighted(e.current(), items)
+	updateWeighted(e.cum, items)
+}
+
+func updateWeighted(dst estimator.Estimator, items []stream.WItem) {
+	if w, ok := estimator.WeightedOf(dst); ok {
+		w.UpdateWeightedBatch(items)
+		return
+	}
+	for _, it := range items {
+		dst.Observe(it.Key)
+	}
+}
+
+// SubsetSum answers the since-boot subset-sum query from the cumulative
+// replica. The second return reports whether the inner kind answers
+// subset sums at all; callers surface that as a configuration error
+// rather than read a silent zero.
+func (e *Estimator) SubsetSum(pred func(it stream.Item) bool) (float64, bool) {
+	s, ok := estimator.SummerOf(e.cum)
+	if !ok {
+		return 0, false
+	}
+	return s.SubsetSum(pred), true
+}
+
+// WindowSubsetSum answers the subset-sum query over the last W epochs:
+// the retained generations merge into a fresh accumulator (the same fold
+// WindowReport uses) and the accumulator answers.
+func (e *Estimator) WindowSubsetSum(pred func(it stream.Item) bool) (float64, bool) {
+	e.rotate()
+	acc, err := e.windowMerged()
+	if err != nil {
+		return 0, false
+	}
+	s, ok := estimator.SummerOf(acc)
+	if !ok {
+		return 0, false
+	}
+	return s.SubsetSum(pred), true
+}
+
 // Merge folds another windowed estimator into the receiver. Both sides
 // must agree on window span and epoch length; the receiver first
 // advances to the newer of (its clock, the other's ring), so generations

@@ -15,6 +15,15 @@
 //
 //	substreamd -role collector -listen :8081 -max-summary-age 5m
 //
+// Both halves of the ship path tolerate faults: agents retry transient
+// ship failures with capped jittered backoff (-ship-retries,
+// -ship-backoff) behind a per-upstream circuit breaker
+// (-breaker-threshold), and a collector given -snapshot-dir atomically
+// checkpoints its retained summary table every -snapshot-interval and
+// restores it on startup, so a restart forgets nothing. There is no
+// replay queue: summaries are cumulative, so the next flush repairs any
+// loss (see internal/server's "Fault tolerance" notes).
+//
 // The -streams flag takes either inline JSON ({"name": {config...}}) or
 // a path to a JSON file of the same shape; stream configs may set
 // "window"/"epoch" for epoch-ring windowed estimation, and the agent
@@ -51,22 +60,30 @@ import (
 	"substream/internal/server"
 )
 
-// options carries every CLI flag; tests drive run with a literal.
+// options carries every CLI flag; tests drive run with a literal (zero
+// values mean the corresponding config defaults, same as omitting the
+// flag — except the disable sentinels, which need the explicit
+// negatives documented on each flag).
 type options struct {
-	role          string
-	listen        string
-	upstream      string
-	id            string
-	flush         time.Duration
-	flushTimeout  time.Duration
-	streams       string
-	window        int
-	epoch         time.Duration
-	maxSummaryAge time.Duration
-	obsSample     int
-	logLevel      string
-	logFormat     string
-	list          bool
+	role             string
+	listen           string
+	upstream         string
+	id               string
+	flush            time.Duration
+	flushTimeout     time.Duration
+	streams          string
+	window           int
+	epoch            time.Duration
+	maxSummaryAge    time.Duration
+	obsSample        int
+	shipRetries      int
+	shipBackoff      time.Duration
+	breakerThreshold int
+	snapshotDir      string
+	snapshotInterval time.Duration
+	logLevel         string
+	logFormat        string
+	list             bool
 }
 
 func main() {
@@ -82,6 +99,11 @@ func main() {
 	flag.DurationVar(&opt.epoch, "epoch", time.Minute, "default epoch duration for windowed streams that set none (agent mode)")
 	flag.DurationVar(&opt.maxSummaryAge, "max-summary-age", 0, "exclude agents whose last summary is older from global estimates (collector mode; 0 = never)")
 	flag.IntVar(&opt.obsSample, "obs-sample-every", 0, "sample ingest timing histograms one request in N; counters stay exact (agent mode; 0 = default 64, 1 = every request)")
+	flag.IntVar(&opt.shipRetries, "ship-retries", 0, "retries per ship after a transient failure, with capped exponential backoff (agent mode; 0 = default 2, negative = no retries)")
+	flag.DurationVar(&opt.shipBackoff, "ship-backoff", 0, "base ship retry backoff, doubled per attempt with jitter and capped at 16x (agent mode; 0 = default 100ms)")
+	flag.IntVar(&opt.breakerThreshold, "breaker-threshold", 0, "consecutive ship failures that open the upstream circuit breaker (agent mode; 0 = default 5, negative = breaker disabled)")
+	flag.StringVar(&opt.snapshotDir, "snapshot-dir", "", "directory for periodic atomic snapshots of the retained summary table, restored on startup (collector mode; empty = durability off)")
+	flag.DurationVar(&opt.snapshotInterval, "snapshot-interval", 0, "interval between collector snapshots (collector mode; 0 = default 30s)")
 	flag.StringVar(&opt.logLevel, "log-level", "info", "log verbosity: debug | info | warn | error (debug includes per-request lines)")
 	flag.StringVar(&opt.logFormat, "log-format", "text", "log encoding: text | json")
 	flag.BoolVar(&opt.list, "list-estimators", false, "list the estimator kinds streams may declare and exit")
@@ -164,14 +186,33 @@ func run(ctx context.Context, opt options, w io.Writer) error {
 }
 
 func runCollector(ctx context.Context, opt options, w io.Writer, logger *slog.Logger) error {
-	collector := server.NewCollector(server.CollectorConfig{MaxSummaryAge: opt.maxSummaryAge, Logger: logger})
+	collector := server.NewCollector(server.CollectorConfig{
+		MaxSummaryAge:    opt.maxSummaryAge,
+		SnapshotDir:      opt.snapshotDir,
+		SnapshotInterval: opt.snapshotInterval,
+		Logger:           logger,
+	})
 	srv, err := server.Start(opt.listen, collector.Handler())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "substreamd: collector listening on %s\n", srv.URL())
+
+	// Run drives the periodic durability snapshots; on shutdown the HTTP
+	// server drains first (no accept may race the final checkpoint), then
+	// Run writes one last snapshot so a planned restart is lossless.
+	collectorCtx, stopCollector := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- collector.Run(collectorCtx) }()
+
 	<-ctx.Done()
-	return shutdown(srv, w)
+	shutdownErr := shutdown(srv, w)
+	stopCollector()
+	runErr := <-runDone
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	return runErr
 }
 
 func runAgent(ctx context.Context, opt options, w io.Writer, logger *slog.Logger) error {
@@ -193,6 +234,9 @@ func runAgent(ctx context.Context, opt options, w io.Writer, logger *slog.Logger
 		Upstream:             opt.upstream,
 		FlushInterval:        opt.flush,
 		ShutdownFlushTimeout: opt.flushTimeout,
+		ShipRetries:          opt.shipRetries,
+		ShipBackoff:          opt.shipBackoff,
+		BreakerThreshold:     opt.breakerThreshold,
 		Logger:               logger,
 		ObsSampleEvery:       opt.obsSample,
 	})

@@ -138,6 +138,82 @@ func TestDaemonSmoke(t *testing.T) {
 	}
 }
 
+// TestDaemonSnapshotRestart is the -snapshot-dir contract end to end: a
+// collector is shut down gracefully (writing its final checkpoint) and a
+// fresh collector process pointed at the same directory serves the same
+// global estimate immediately, before any agent reships.
+func TestDaemonSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	collectorURL, stopCollector := startDaemon(t, options{
+		role:             "collector",
+		snapshotDir:      dir,
+		snapshotInterval: time.Hour, // only the shutdown write matters here
+	})
+	agentURL, stopAgent := startDaemon(t, options{
+		role:        "agent",
+		id:          "snap-agent",
+		upstream:    collectorURL,
+		flush:       50 * time.Millisecond,
+		shipRetries: 1,
+		streams:     `{"flows": {"stat": "f0", "p": 0.5, "seed": 7, "presampled": true}}`,
+	})
+
+	resp, err := http.Post(agentURL+"/v1/streams/flows/ingest", "text/plain",
+		strings.NewReader("1\n2\n3\n2\n1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	readEstimate := func(url string) (float64, bool) {
+		resp, err := http.Get(url + "/v1/streams/flows/estimate")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			return 0, false
+		}
+		defer resp.Body.Close()
+		var got struct {
+			Estimates struct {
+				Values map[string]float64 `json:"values"`
+			} `json:"estimates"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		return got.Estimates.Values["f0_sampled"], true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := readEstimate(collectorURL); ok && v == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("collector never served the shipped estimate")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Kill the fleet: the agent first (its state is now upstream), then
+	// the collector, whose graceful shutdown checkpoints the table.
+	if err := stopAgent(); err != nil {
+		t.Fatalf("agent shutdown: %v", err)
+	}
+	if err := stopCollector(); err != nil {
+		t.Fatalf("collector shutdown: %v", err)
+	}
+
+	// A fresh collector process on the same snapshot dir answers at once.
+	revivedURL, stopRevived := startDaemon(t, options{role: "collector", snapshotDir: dir})
+	if v, ok := readEstimate(revivedURL); !ok || v != 3 {
+		t.Fatalf("revived collector estimate = %v (served %v), want 3 from the restored snapshot", v, ok)
+	}
+	if err := stopRevived(); err != nil {
+		t.Fatalf("revived collector shutdown: %v", err)
+	}
+}
+
 // TestDaemonWindowDefaults boots an agent with the -window/-epoch fleet
 // defaults and checks the shipped global estimate answers both scopes.
 func TestDaemonWindowDefaults(t *testing.T) {

@@ -14,8 +14,11 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"substream/internal/rng"
@@ -200,4 +203,83 @@ func main() {
 		fmt.Printf("  trace %016x  %-6s %-9s e2e %s\n",
 			sp.TraceID, sp.Stream, sp.Agent, time.Duration(sp.E2ENs))
 	}
+
+	fmt.Printf("\n--- collector kill/restart (fault tolerance) ---\n")
+	killRestartDemo(os.Stdout)
+}
+
+// killRestartDemo shows the fault-tolerance layer end to end: the
+// collector is killed mid-run and a fresh process is revived from its
+// durability snapshot behind the same URL. The global estimate survives
+// the crash — answered before any agent reships — and the next flush
+// catches the revived collector up with the traffic that arrived while
+// it was down. There is no replay queue anywhere: summaries are
+// cumulative, so one flush repairs any loss.
+func killRestartDemo(w io.Writer) {
+	dir, err := os.MkdirTemp("", "substream-snap-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The collector sits behind a swappable front so its URL — the one
+	// the agent keeps shipping to — survives the restart, exactly like a
+	// respawned process re-binding its address.
+	var handler atomic.Pointer[http.Handler]
+	swap := func(c *server.Collector) {
+		h := c.Handler()
+		handler.Store(&h)
+	}
+	collector := server.NewCollector(server.CollectorConfig{SnapshotDir: dir})
+	swap(collector)
+	cts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(rw, r)
+	}))
+	defer cts.Close()
+
+	agent := server.NewAgent(server.AgentConfig{ID: "router-0", Upstream: cts.URL})
+	defer agent.Close()
+	ats := httptest.NewServer(agent.Handler())
+	defer ats.Close()
+	// SampleSeed pins the sampling coins too: the demo's output is
+	// deterministic so the Example test can assert it verbatim.
+	cfg, _ := json.Marshal(server.StreamConfig{Stat: "f0", P: p, Seed: 1234, SampleSeed: 99, Shards: 1})
+	req, _ := http.NewRequest(http.MethodPut, ats.URL+"/v1/streams/flows", bytes.NewReader(cfg))
+	req.Header.Set("Content-Type", "application/json")
+	must(http.DefaultClient.Do(req))
+
+	r := rng.New(5)
+	wl, _ := workload.NetFlow(packets/2, 15000, 1.05, 1.3, 4, r.Uint64())
+	traffic := stream.Collect(wl.Stream)
+	half := len(traffic) / 2
+
+	distinct := func(c *server.Collector) float64 {
+		est, err := c.Estimate("flows")
+		if err != nil {
+			panic(err)
+		}
+		return est.Estimates.Values["f0"]
+	}
+
+	must(http.Post(ats.URL+"/v1/streams/flows/ingest", server.ContentTypeBinary, binBody(traffic[:half])))
+	must(http.Post(ats.URL+"/flush", "", nil))
+	fmt.Fprintf(w, "first half shipped:  distinct flows %.0f\n", distinct(collector))
+
+	// Kill the collector after its checkpoint lands (the daemon's Run
+	// loop writes these periodically and once more on shutdown), then
+	// revive a fresh one from the same snapshot dir.
+	if err := collector.SaveSnapshot(); err != nil {
+		panic(err)
+	}
+	revived := server.NewCollector(server.CollectorConfig{SnapshotDir: dir})
+	swap(revived)
+	fmt.Fprintf(w, "collector killed and revived from snapshot\n")
+	fmt.Fprintf(w, "before any reship:   distinct flows %.0f\n", distinct(revived))
+
+	// Traffic the old collector never saw reaches the revived one on the
+	// agent's next regular flush.
+	must(http.Post(ats.URL+"/v1/streams/flows/ingest", server.ContentTypeBinary, binBody(traffic[half:])))
+	must(http.Post(ats.URL+"/flush", "", nil))
+	fmt.Fprintf(w, "after next flush:    distinct flows %.0f (true %d)\n",
+		distinct(revived), stream.NewFreq(traffic).F0())
 }

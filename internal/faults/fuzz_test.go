@@ -1,0 +1,40 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzPlanDecode fuzzes the plan decoder with the same contract as the
+// estimator payload fuzzers: arbitrary input must either fail cleanly
+// or decode to a plan that validates and re-encodes canonically. Runs
+// in CI's fuzz-smoke loop alongside the estimator targets.
+func FuzzPlanDecode(f *testing.F) {
+	seed, err := Plan{
+		Seed: 42, Drop: 0.3, Delay: 0.25, MaxDelay: 5 * time.Millisecond,
+		Err5xx: 0.1, Reset: 0.05, Truncate: 0.02,
+	}.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'F', 'P', 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPlan(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoded plan fails Validate: %v", err)
+		}
+		out, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded plan fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode is not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log/slog"
+	rand "math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -37,6 +38,29 @@ type AgentConfig struct {
 	ShutdownFlushTimeout time.Duration
 	// Client performs upstream requests. Default: 10s-timeout client.
 	Client *http.Client
+	// ShipRetries is how many times a failed ship POST is re-attempted
+	// within one shipStream call before giving up (the summary is
+	// cumulative, so the same snapshot is simply re-sent). Only
+	// transient failures are retried: connection errors and 5xx
+	// responses; a 4xx is a deterministic rejection that retrying
+	// cannot fix. 0 means the default of 2; negative disables retries.
+	ShipRetries int
+	// ShipBackoff is the base delay of the capped exponential backoff
+	// between retry attempts (base, 2x, 4x, ... capped at 16x, each
+	// equal-jittered to [d/2, d)). Default 100ms.
+	ShipBackoff time.Duration
+	// BreakerThreshold is the number of CONSECUTIVE failed ships (each
+	// counted after its retries) that trips the upstream circuit
+	// breaker from closed to open. While open, ships fail fast with
+	// the breaker_open cause instead of burning their retry schedule
+	// against a dead collector. 0 means the default of 5; negative
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting a single half-open probe ship; the probe's success
+	// closes the breaker, its failure re-opens it. 0 means the flush
+	// interval — the natural "probe on the next tick" cadence.
+	BreakerCooldown time.Duration
 	// Logger receives structured operational logs (stream lifecycle at
 	// Info, flush failures at Warn, per-request lines at Debug). Nil
 	// discards them.
@@ -59,6 +83,7 @@ type Agent struct {
 	logger   *slog.Logger
 	boot     uint64 // process-incarnation marker carried by every Summary
 	metrics  *Metrics
+	breaker  *breaker      // per-upstream circuit breaker on the shipping path
 	traceSeq atomic.Uint64 // per-process flush counter feeding trace IDs
 	obsTick  atomic.Uint64 // ingest-request counter driving timing-sample selection
 
@@ -87,6 +112,17 @@ type agentStream struct {
 	// lookup.
 	items *obs.Counter
 	bytes *obs.Counter
+	// lastShipOK is the unix-nano time of this stream's last successful
+	// ship (0 = never) — the ship-success-age gauge's source, and the
+	// operator's per-stream answer to "how stale is the collector's
+	// view of me".
+	lastShipOK atomic.Int64
+	// dirty is set when a ship fails and cleared by the next success.
+	// Nothing is queued while dirty: summaries are cumulative and the
+	// collector folds latest-wins, so the next tick (or breaker probe)
+	// reships the newest snapshot and recovery converges by
+	// construction.
+	dirty atomic.Bool
 }
 
 // NewAgent builds an agent.
@@ -102,6 +138,24 @@ func NewAgent(cfg AgentConfig) *Agent {
 	}
 	if cfg.ObsSampleEvery <= 0 {
 		cfg.ObsSampleEvery = 64
+	}
+	switch {
+	case cfg.ShipRetries == 0:
+		cfg.ShipRetries = 2
+	case cfg.ShipRetries < 0:
+		cfg.ShipRetries = 0
+	}
+	if cfg.ShipBackoff <= 0 {
+		cfg.ShipBackoff = 100 * time.Millisecond
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 5
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0 // disabled (breaker treats <= 0 as off)
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = cfg.FlushInterval
 	}
 	if cfg.Client == nil {
 		// The default client's timeout must not silently cap an
@@ -122,9 +176,11 @@ func NewAgent(cfg AgentConfig) *Agent {
 		logger:  logger.With("role", "agent", "agent", cfg.ID),
 		boot:    uint64(time.Now().UnixNano()),
 		metrics: newMetrics(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil),
 		streams: make(map[string]*agentStream),
 	}
 	a.registerPipelineMetrics()
+	a.registerShipMetrics()
 	return a
 }
 
@@ -172,6 +228,39 @@ func (a *Agent) registerPipelineMetrics() {
 			}
 		})
 	}
+}
+
+// registerShipMetrics surfaces the resilient-shipping state: the
+// upstream breaker's position, each stream's time-since-last-successful
+// ship (the operator's per-stream answer to "how stale is the
+// collector's view of me"), and the dirty flag marking streams whose
+// newest summary has not landed upstream. All are read at scrape time;
+// the shipping path only touches atomics.
+func (a *Agent) registerShipMetrics() {
+	reg := a.metrics.reg
+	reg.GaugeFunc("agent_breaker_state", "upstream circuit breaker state (0 closed, 1 half-open, 2 open)",
+		func() float64 { return float64(a.breaker.snapshot()) })
+	reg.SetFunc("agent_ship_success_age_seconds", "seconds since the last successful ship (-1 before the first), by stream", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			now := time.Now()
+			for _, st := range a.snapshotStreams() {
+				age := -1.0
+				if last := st.lastShipOK.Load(); last != 0 {
+					age = now.Sub(time.Unix(0, last)).Seconds()
+				}
+				emit(age, obs.Label{Key: "stream", Value: st.name})
+			}
+		})
+	reg.SetFunc("agent_stream_dirty", "1 when the stream's newest summary has not been shipped, by stream", obs.KindGauge,
+		func(emit func(v float64, labels ...obs.Label)) {
+			for _, st := range a.snapshotStreams() {
+				v := 0.0
+				if st.dirty.Load() {
+					v = 1.0
+				}
+				emit(v, obs.Label{Key: "stream", Value: st.name})
+			}
+		})
 }
 
 // Metrics exposes the agent's instrument panel (for tests and embedding).
@@ -501,27 +590,40 @@ func (a *Agent) handleFlushOne(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *Agent) handleFlushAll(w http.ResponseWriter, r *http.Request) {
-	n, err := a.FlushAll(r.Context())
+	shipped, failed, err := a.flushAll(r.Context())
 	if err != nil {
-		writeError(w, http.StatusBadGateway, "ship failed after %d streams: %v", n, err)
+		// A partial flush is still useful information: the response
+		// carries both counts so an operator (or test) can tell "the
+		// collector is down" from "one stream's snapshot failed".
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"shipped": shipped, "failed": failed, "error": err.Error(),
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"shipped": n})
+	writeJSON(w, http.StatusOK, map[string]any{"shipped": shipped, "failed": 0})
 }
 
 // FlushAll ships every stream's cumulative summary upstream, returning
 // how many shipped.
 func (a *Agent) FlushAll(ctx context.Context) (int, error) {
+	shipped, _, err := a.flushAll(ctx)
+	return shipped, err
+}
+
+// flushAll ships every stream, continuing past failures so one dead
+// stream (or an open breaker) never starves the rest, and reports both
+// counts. The joined error preserves every per-stream failure.
+func (a *Agent) flushAll(ctx context.Context) (shipped, failed int, err error) {
 	var errs []error
-	n := 0
 	for _, st := range a.snapshotStreams() {
 		if err := a.shipStream(ctx, st); err != nil {
 			errs = append(errs, fmt.Errorf("stream %q: %w", st.name, err))
+			failed++
 			continue
 		}
-		n++
+		shipped++
 	}
-	return n, errors.Join(errs...)
+	return shipped, failed, errors.Join(errs...)
 }
 
 // mix64 is the splitmix64 finalizer: a cheap bijective scrambler that
@@ -535,16 +637,33 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// errBreakerOpen marks a ship refused fast because the upstream circuit
+// breaker is open; the next allowed ship (a half-open probe after the
+// cooldown) carries the newest snapshot, so nothing is queued behind it.
+var errBreakerOpen = errors.New("upstream circuit breaker open")
+
 // shipStream serializes one stream's cumulative state and POSTs it to
-// the collector. Because the payload is cumulative and ordered by Seq, a
-// lost or duplicated shipment is harmless — the collector keeps the
-// newest state per agent. Every shipment carries a trace ID and the
-// flush wall time, and lands in the agent's /debug/tracez ring as a
-// "ship" span; the collector records the matching "fold" span.
+// the collector, retrying transient failures with capped, jittered
+// exponential backoff behind the agent's per-upstream circuit breaker.
+// Because the payload is cumulative and ordered by Seq, a lost or
+// duplicated shipment is harmless — the collector keeps the newest state
+// per agent — so a ship that exhausts its retries just marks the stream
+// dirty; the next flush tick (or breaker probe) ships a NEWER snapshot
+// that supersedes everything that was lost. Every shipment carries a
+// trace ID and the flush wall time, and lands in the agent's
+// /debug/tracez ring as a "ship" span; the collector records the
+// matching "fold" span.
 func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 	if a.cfg.Upstream == "" {
 		a.metrics.ShipErrors.With(causeNoUpstream).Inc()
 		return fmt.Errorf("no upstream configured")
+	}
+	if !a.breaker.allow() {
+		// Fast-fail before the snapshot: an open breaker skips the
+		// pipeline quiesce as well as the doomed retry schedule.
+		a.metrics.ShipErrors.With(causeBreakerOpen).Inc()
+		st.dirty.Store(true)
+		return errBreakerOpen
 	}
 	start := time.Now()
 	// Snapshot and sequence number are taken under one lock so Seq order
@@ -555,6 +674,10 @@ func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 	if err != nil {
 		st.shipMu.Unlock()
 		a.metrics.ShipErrors.With(causeSnapshot).Inc()
+		// A local snapshot failure says nothing about upstream health:
+		// release the (possible) half-open probe slot unjudged.
+		a.breaker.release()
+		st.dirty.Store(true)
 		return err
 	}
 	st.seq++
@@ -579,36 +702,114 @@ func (a *Agent) shipStream(ctx context.Context, st *agentStream) error {
 		a.metrics.ShipErrors.With(cause).Inc()
 		span.Err = err.Error()
 		a.metrics.Trace.Record(span)
+		st.dirty.Store(true)
 		return err
 	}
 	body, err := json.Marshal(sum)
 	if err != nil {
+		a.breaker.release()
 		return fail(causeMarshal, err)
 	}
 	span.SnapshotNs = time.Since(start).Nanoseconds()
 	span.Bytes = len(body)
+
+	// The POST attempt loop: the first attempt plus up to ShipRetries
+	// re-sends of the SAME marshaled snapshot (it is cumulative; there is
+	// nothing fresher to fetch mid-ship). Each attempt's failure bumps
+	// its own cause (network/status) and each scheduled re-attempt bumps
+	// retry, so the audit counters read: attempts = network + status,
+	// backoff pressure = retry, logical ship failures = gave_up. Only
+	// transient failures — connection errors and 5xx responses — are
+	// retried; a 4xx is a deterministic rejection that retrying cannot
+	// fix, and it proves the collector is alive, so it settles the
+	// breaker as a success.
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		cause, transient, err := a.postSummary(ctx, &span, body)
+		if err == nil {
+			a.breaker.onSuccess()
+			st.dirty.Store(false)
+			st.lastShipOK.Store(time.Now().UnixNano())
+			a.metrics.SummariesOut.Inc()
+			a.metrics.SummaryBytesOut.Add(uint64(len(body)))
+			a.metrics.AgentFlush.Since(start)
+			a.metrics.Trace.Record(span)
+			return nil
+		}
+		lastErr = err
+		if !transient {
+			if cause == causeRequest {
+				// Building the request failed locally; upstream health
+				// was never tested. Leave the breaker unjudged.
+				a.breaker.release()
+			} else {
+				a.breaker.onSuccess()
+			}
+			return fail(cause, err)
+		}
+		a.metrics.ShipErrors.With(cause).Inc()
+		if attempt >= a.cfg.ShipRetries || ctx.Err() != nil {
+			break
+		}
+		a.metrics.ShipErrors.With(causeRetry).Inc()
+		if !sleepCtx(ctx, shipBackoff(a.cfg.ShipBackoff, attempt)) {
+			break
+		}
+	}
+	a.breaker.onFailure()
+	return fail(causeGaveUp, lastErr)
+}
+
+// postSummary performs one upstream POST attempt, classifying a failure
+// by cause and by whether it is transient (worth retrying: connection
+// errors and 5xx). It updates the span's post timing so the recorded
+// span reflects the final attempt.
+func (a *Agent) postSummary(ctx context.Context, span *obs.Span, body []byte) (cause string, transient bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		a.cfg.Upstream+"/v1/collect", bytes.NewReader(body))
 	if err != nil {
-		return fail(causeRequest, err)
+		return causeRequest, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	postStart := time.Now()
 	resp, err := a.cfg.Client.Do(req)
 	if err != nil {
-		return fail(causeNetwork, err)
+		span.PostNs = time.Since(postStart).Nanoseconds()
+		return causeNetwork, true, err
 	}
 	defer resp.Body.Close()
 	span.PostNs = time.Since(postStart).Nanoseconds()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fail(causeStatus, fmt.Errorf("collector returned %s: %s", resp.Status, bytes.TrimSpace(msg)))
+		err := fmt.Errorf("collector returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return causeStatus, resp.StatusCode >= 500, err
 	}
-	a.metrics.SummariesOut.Inc()
-	a.metrics.SummaryBytesOut.Add(uint64(len(body)))
-	a.metrics.AgentFlush.Since(start)
-	a.metrics.Trace.Record(span)
-	return nil
+	return "", false, nil
+}
+
+// shipBackoff returns the delay before retry `attempt` (0-based): the
+// base doubling per attempt, capped at 16x base, equal-jittered into
+// [d/2, d) so a fleet of agents tripped by the same outage does not
+// reconverge on the collector in lockstep.
+func shipBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << min(attempt, 4)
+	if d < 2 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)))
+}
+
+// sleepCtx waits for d or the context, reporting whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
 }
 
 // Run drives periodic shipping until ctx is canceled, then performs a

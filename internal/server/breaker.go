@@ -1,0 +1,141 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, in escalation order. The numeric values are the
+// agent_breaker_state gauge's vocabulary: 0 closed (shipping normally),
+// 1 half-open (one probe in flight), 2 open (failing fast).
+const (
+	breakerClosed int = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breaker is the per-upstream circuit breaker of the shipping path: it
+// turns a dead collector from "every stream of every flush tick runs
+// its full retry schedule against a black hole" into one cheap fast-fail
+// per ship, with a single probe per cooldown window testing for revival.
+//
+// The classic three states: CLOSED counts consecutive failures and
+// trips to OPEN at the threshold; OPEN fails fast until the cooldown
+// elapses, then admits exactly one probe (HALF-OPEN); the probe's
+// success closes the breaker, its failure re-opens it for another
+// cooldown. Because shipped summaries are cumulative and the collector
+// keeps the newest per agent, nothing is queued while open — the next
+// allowed ship carries the newest snapshot, which supersedes everything
+// the breaker refused.
+type breaker struct {
+	threshold int           // consecutive failures that trip the breaker; <= 0 disables it
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+// newBreaker builds a breaker; threshold <= 0 builds a disabled one
+// that always allows.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a ship may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed, admitting the
+// caller as the probe; while a probe is in flight every other caller is
+// refused, so a revived collector sees one request, not a stampede.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// release abandons an admission without judging the upstream: the
+// caller failed locally (snapshot, marshal, request build) before the
+// collector was ever contacted. A half-open probe slot it may have held
+// reopens for the next caller; state and failure count are untouched.
+func (b *breaker) release() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// onSuccess records a successful ship: any state collapses back to
+// closed with the failure count reset.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a failed ship (after its retries, if any): a failed
+// half-open probe re-opens immediately, and the threshold'th
+// consecutive closed-state failure trips the breaker.
+func (b *breaker) onFailure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+		}
+	}
+	// Already open: concurrent ships that were in flight when the
+	// breaker tripped report their failures into a trap that is
+	// already sprung; nothing to escalate.
+}
+
+// snapshot returns the current state for the breaker gauge.
+func (b *breaker) snapshot() int {
+	if b.threshold <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle walks the full state machine with a fake clock:
+// closed → (threshold failures) → open → (cooldown) → half-open single
+// probe → closed on success / re-open on failure.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Minute, func() time.Time { return now })
+
+	if got := b.snapshot(); got != breakerClosed {
+		t.Fatalf("initial state %d, want closed", got)
+	}
+	// Two failures: still closed.
+	b.onFailure()
+	b.onFailure()
+	if !b.allow() || b.snapshot() != breakerClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	// Third consecutive failure trips it.
+	b.onFailure()
+	if b.snapshot() != breakerOpen {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a ship inside the cooldown")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state %d after probe admission, want half-open", b.snapshot())
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while a probe is in flight")
+	}
+
+	// Probe fails: re-open for another full cooldown.
+	b.onFailure()
+	if b.snapshot() != breakerOpen || b.allow() {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	now = now.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe refused after the re-open cooldown")
+	}
+
+	// Probe succeeds: closed, and consecutive counting starts afresh.
+	b.onSuccess()
+	if b.snapshot() != breakerClosed || !b.allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	b.onFailure()
+	b.onFailure()
+	if b.snapshot() != breakerClosed {
+		t.Fatal("failure count survived the close")
+	}
+}
+
+// TestBreakerRelease checks a local failure releases the probe slot
+// without judging the upstream.
+func TestBreakerRelease(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(1, time.Minute, func() time.Time { return now })
+	b.onFailure() // trip
+	now = now.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.release()
+	// The slot reopened: the next caller becomes the probe instead of
+	// waiting out another cooldown.
+	if !b.allow() {
+		t.Fatal("released probe slot not reusable")
+	}
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state %d after release, want half-open", b.snapshot())
+	}
+}
+
+// TestBreakerDisabled checks a non-positive threshold turns every
+// method into a no-op that always allows.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Minute, nil)
+	for i := 0; i < 10; i++ {
+		b.onFailure()
+	}
+	if !b.allow() || b.snapshot() != breakerClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+// TestFlushAllPartialFailure is the POST /v1/flush contract under
+// partial failure: the response carries both counts, every stream is
+// attempted (one dead stream never starves the rest), and the status
+// distinguishes clean from degraded flushes.
+func TestFlushAllPartialFailure(t *testing.T) {
+	// An upstream that rejects exactly the summaries of stream "bad".
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var sum Summary
+		if err := json.NewDecoder(r.Body).Decode(&sum); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if sum.Stream == "bad" {
+			http.Error(w, "not today", http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer up.Close()
+
+	cases := []struct {
+		name       string
+		streams    []string
+		wantStatus int
+		wantShip   float64
+		wantFail   float64
+	}{
+		{"all clean", []string{"a", "b"}, http.StatusOK, 2, 0},
+		{"partial", []string{"a", "bad", "z"}, http.StatusBadGateway, 2, 1},
+		{"total", []string{"bad"}, http.StatusBadGateway, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			agent := NewAgent(AgentConfig{ID: "pf", Upstream: up.URL, ShipRetries: -1})
+			defer agent.Close()
+			for _, name := range tc.streams {
+				if err := agent.CreateStream(name, StreamConfig{Stat: "f0", P: 0.5, Presampled: true}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ats := httptest.NewServer(agent.Handler())
+			defer ats.Close()
+
+			resp, err := http.Post(ats.URL+"/v1/flush", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var body map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatal(err)
+			}
+			if body["shipped"] != tc.wantShip || body["failed"] != tc.wantFail {
+				t.Fatalf("response %v, want shipped=%v failed=%v", body, tc.wantShip, tc.wantFail)
+			}
+			if tc.wantFail > 0 {
+				msg, _ := body["error"].(string)
+				if !strings.Contains(msg, `stream "bad"`) {
+					t.Fatalf("error %q does not name the failed stream", msg)
+				}
+			} else if _, present := body["error"]; present {
+				t.Fatalf("clean flush carried an error field: %v", body)
+			}
+		})
+	}
+}
+
+// TestShipSuccessClearsDirty pins the dirty/lastShipOK bookkeeping and
+// the ship gauges end to end: a failed ship marks the stream dirty with
+// the breaker counting, the upstream's revival clears it on the next
+// flush without any replay queue.
+func TestShipSuccessClearsDirty(t *testing.T) {
+	var down atomic.Bool
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer up.Close()
+	agent := NewAgent(AgentConfig{ID: "d", Upstream: up.URL, ShipRetries: -1})
+	defer agent.Close()
+	if err := agent.CreateStream("s", StreamConfig{Stat: "f0", P: 0.5, Presampled: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	down.Store(true)
+	if _, err := agent.FlushAll(context.Background()); err == nil {
+		t.Fatal("flush to downed upstream succeeded")
+	}
+	if !agent.streamDirty("s") {
+		t.Fatal("failed ship left the stream clean")
+	}
+
+	down.Store(false)
+	if _, err := agent.FlushAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if agent.streamDirty("s") {
+		t.Fatal("successful ship left the stream dirty")
+	}
+	st, _ := agent.lookup("s")
+	if st.lastShipOK.Load() == 0 {
+		t.Fatal("successful ship did not stamp lastShipOK")
+	}
+}

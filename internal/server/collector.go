@@ -24,6 +24,16 @@ type CollectorConfig struct {
 	// Now is the staleness time source. Nil means time.Now; tests
 	// substitute a fake to drive expiry deterministically.
 	Now func() time.Time
+	// SnapshotDir, when non-empty, enables durability checkpoints: the
+	// retained summary table is atomically written to
+	// SnapshotDir/collector.snap by Run every SnapshotInterval (and once
+	// on shutdown), and NewCollector restores from it on startup. A
+	// corrupt or unreadable snapshot is abandoned whole — the collector
+	// starts empty and warns, and the agents' cumulative reships rebuild
+	// the lost state within a flush interval.
+	SnapshotDir string
+	// SnapshotInterval is the checkpoint period. 0 means 30s.
+	SnapshotInterval time.Duration
 	// Logger receives structured operational logs (rejected summaries at
 	// Warn, per-request lines at Debug). Nil discards them.
 	Logger *slog.Logger
@@ -59,10 +69,17 @@ type agentState struct {
 	lastSeen time.Time
 }
 
-// NewCollector builds a collector.
+// NewCollector builds a collector. With a SnapshotDir configured it
+// restores the last durability checkpoint: a valid snapshot repopulates
+// the whole retained table, anything else (missing integrity trailer,
+// truncation, bit flips, invalid entries) is abandoned whole and the
+// collector starts empty with a warning — never a partial table.
 func NewCollector(cfg CollectorConfig) *Collector {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.SnapshotInterval <= 0 {
+		cfg.SnapshotInterval = 30 * time.Second
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -75,6 +92,14 @@ func NewCollector(cfg CollectorConfig) *Collector {
 		streams: make(map[string]*collectorStream),
 	}
 	c.registerAgentMetrics()
+	if cfg.SnapshotDir != "" {
+		switch n, err := c.RestoreSnapshot(); {
+		case err != nil:
+			c.logger.Warn("snapshot restore failed; starting empty", "err", err)
+		case n > 0:
+			c.logger.Info("snapshot restored", "entries", n, "path", c.snapshotPath())
+		}
+	}
 	return c
 }
 

@@ -21,6 +21,60 @@
 // substream therefore reproduce the single-monitor estimate of the union
 // stream — the scenario the paper's Section 1 opens with.
 //
+// # Fault tolerance
+//
+// Because summaries are cumulative and folding is latest-wins, the ship
+// path recovers from any loss without queues or replay: a failed ship
+// marks the stream dirty and the next flush ships the NEWEST snapshot,
+// which supersedes everything that was lost. The hardening around that
+// loop:
+//
+//   - Agents retry transient ship failures (connection errors, 5xx)
+//     inside the flush with capped exponential backoff and equal jitter
+//     (AgentConfig.ShipRetries, default 2; AgentConfig.ShipBackoff,
+//     default 100ms base, doubled per attempt, capped at 16x; the
+//     daemon flags are -ship-retries/-ship-backoff). 4xx responses are
+//     never retried — the collector answered; repeating the question
+//     will not change its mind.
+//
+//   - A per-upstream circuit breaker (AgentConfig.BreakerThreshold,
+//     default 5 consecutive failures; -breaker-threshold) fails flushes
+//     fast while open — before the pipeline is even quiesced for a
+//     snapshot — then admits a single probe per cooldown
+//     (AgentConfig.BreakerCooldown, default the flush interval) whose
+//     outcome closes or re-opens it. Ship attempts are accounted by
+//     cause in ship_errors (retry, breaker_open, gave_up alongside the
+//     transport causes), and the gauges agent_breaker_state,
+//     agent_ship_success_age_seconds, and agent_stream_dirty expose the
+//     loop's health; POST /v1/flush attempts every stream and reports
+//     {"shipped": n, "failed": m}.
+//
+//   - Collectors configured with CollectorConfig.SnapshotDir
+//     (-snapshot-dir) checkpoint the retained summary table atomically
+//     (write-temp, fsync, rename) every SnapshotInterval
+//     (-snapshot-interval, default 30s) plus once on shutdown, and
+//     restore it on startup. The snapshot wire format:
+//
+//     'C' 'S'            magic
+//     u8  version        currently 1
+//     i64 savedAt        unix-nanos of the checkpoint (diagnostic)
+//     u32 count          number of (stream, agent) entries
+//     count times:
+//     nested summaryJSON   the retained Summary with its Payload
+//     re-encoded in the estimator wire format below
+//     i64 lastSeen         unix-nanos of the entry's acceptance
+//     u32 crc            IEEE CRC-32 of every preceding byte, little-endian
+//
+// The CRC trailer is verified before any parsing and every entry
+// re-passes the live collect path's validation (config validate,
+// registry decode, trial fold, config pinning), so a torn, truncated,
+// or bit-flipped snapshot fails whole into "start empty + warn" — never
+// a panic, never a partial table. Restored entries count as sightings
+// for -max-summary-age staleness, letting a long-dead collector answer
+// from the checkpoint while the fleet re-converges. internal/faults
+// provides the deterministic fault-injecting RoundTripper/proxy that
+// drives the race-gated chaos e2e suite over all of this.
+//
 // # Wire format
 //
 // Summaries travel as a JSON envelope (Summary) whose Payload field is

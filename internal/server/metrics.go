@@ -31,12 +31,27 @@ const (
 	causeRequest    = "request"
 	causeNetwork    = "network"
 	causeStatus     = "status"
+	// The resilient-shipping causes: retry counts every scheduled
+	// re-attempt (the per-attempt network/status causes still fire, so
+	// retry measures backoff pressure, not a new failure class),
+	// breaker_open counts ships refused fast while the upstream's
+	// circuit breaker is open, and gave_up counts ships that exhausted
+	// their retry budget — the number a converging fleet drives to zero.
+	causeRetry       = "retry"
+	causeBreakerOpen = "breaker_open"
+	causeGaveUp      = "gave_up"
 
 	// summaries_rejected causes
 	causeEnvelope = "envelope"
 	causeConfig   = "config"
 	causePayload  = "payload"
 	causeConflict = "config_conflict"
+
+	// snapshot_errors causes (collector durability): a failed periodic
+	// checkpoint write, and a startup restore abandoned because the
+	// snapshot file was missing its integrity or failed validation.
+	causeSnapshotWrite   = "snapshot_write"
+	causeSnapshotRestore = "snapshot_restore"
 )
 
 // Metrics is the daemon's instrument panel, rebuilt on internal/obs:
@@ -62,13 +77,20 @@ type Metrics struct {
 	SummariesIn    *obs.Counter
 	SummaryBytesIn *obs.Counter
 	CollectRejects *obs.CounterVec // by cause
+	SnapshotErrors *obs.CounterVec // by cause
 
 	// Latency histograms (seconds), one per instrumented path.
-	IngestDecode  *obs.Histogram
-	ShardFeed     *obs.Histogram
-	AgentFlush    *obs.Histogram
-	CollectDecode *obs.Histogram
-	CollectFold   *obs.Histogram
+	IngestDecode    *obs.Histogram
+	ShardFeed       *obs.Histogram
+	AgentFlush      *obs.Histogram
+	CollectDecode   *obs.Histogram
+	CollectFold     *obs.Histogram
+	SnapshotWrite   *obs.Histogram
+	SnapshotRestore *obs.Histogram
+
+	// SnapshotBytes is the size of the collector's last written
+	// durability checkpoint (0 until the first write).
+	SnapshotBytes *obs.Gauge
 
 	// Trace is the flush→fold span ring served at /debug/tracez.
 	Trace *obs.TraceRing
@@ -93,12 +115,17 @@ func newMetrics() *Metrics {
 		SummariesIn:    reg.Counter("summaries_received", "summaries accepted from agents"),
 		SummaryBytesIn: reg.Counter("summary_bytes_received", "summary envelope bytes received from agents"),
 		CollectRejects: reg.CounterVec("summaries_rejected", "summaries rejected, by cause", "cause"),
+		SnapshotErrors: reg.CounterVec("snapshot_errors", "collector durability snapshot failures, by cause", "cause"),
 
-		IngestDecode:  reg.Histogram("ingest_decode_seconds", "per-request ingest body decode latency (excludes pipeline feed)"),
-		ShardFeed:     reg.Histogram("shard_feed_seconds", "per-request pipeline feed latency (includes backpressure stalls)"),
-		AgentFlush:    reg.Histogram("agent_flush_seconds", "per-summary flush latency: snapshot, marshal, upstream POST"),
-		CollectDecode: reg.Histogram("collect_decode_seconds", "per-summary payload decode latency at the collector"),
-		CollectFold:   reg.Histogram("collect_fold_seconds", "per-summary trial-fold latency at the collector"),
+		IngestDecode:    reg.Histogram("ingest_decode_seconds", "per-request ingest body decode latency (excludes pipeline feed)"),
+		ShardFeed:       reg.Histogram("shard_feed_seconds", "per-request pipeline feed latency (includes backpressure stalls)"),
+		AgentFlush:      reg.Histogram("agent_flush_seconds", "per-summary flush latency: snapshot, marshal, upstream POST"),
+		CollectDecode:   reg.Histogram("collect_decode_seconds", "per-summary payload decode latency at the collector"),
+		CollectFold:     reg.Histogram("collect_fold_seconds", "per-summary trial-fold latency at the collector"),
+		SnapshotWrite:   reg.Histogram("snapshot_write_seconds", "per-checkpoint collector snapshot encode+write+rename latency"),
+		SnapshotRestore: reg.Histogram("snapshot_restore_seconds", "collector snapshot restore latency at startup"),
+
+		SnapshotBytes: reg.Gauge("collector_snapshot_bytes", "size of the collector's last written durability snapshot"),
 
 		Trace: obs.NewTraceRing(obs.DefaultTraceCap),
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -33,13 +34,22 @@ func causeValues(v *obs.CounterVec, causes []string) map[string]uint64 {
 // assertCauseDelta checks exactly one cause moved, by exactly one.
 func assertCauseDelta(t *testing.T, before, after map[string]uint64, want string) {
 	t.Helper()
+	deltas := map[string]uint64{}
+	if want != "" {
+		deltas[want] = 1
+	}
+	assertCauseDeltas(t, before, after, deltas)
+}
+
+// assertCauseDeltas checks every cause moved by exactly its expected
+// delta (0 if absent from want) — the retry-aware form: one logical ship
+// failure under a retry budget legitimately bumps several causes
+// (per-attempt network/status, per-reattempt retry, one gave_up).
+func assertCauseDeltas(t *testing.T, before, after map[string]uint64, want map[string]uint64) {
+	t.Helper()
 	for cause, b := range before {
-		wantDelta := uint64(0)
-		if cause == want {
-			wantDelta = 1
-		}
-		if got := after[cause] - b; got != wantDelta {
-			t.Errorf("cause %q: delta %d, want %d", cause, got, wantDelta)
+		if got := after[cause] - b; got != want[cause] {
+			t.Errorf("cause %q: delta %d, want %d", cause, got, want[cause])
 		}
 	}
 }
@@ -120,22 +130,39 @@ func TestIngestErrorCausesAudit(t *testing.T) {
 	}
 }
 
+// shipCauses enumerates every ship_errors cause, including the
+// resilient-shipping additions.
+var shipCauses = []string{causeNoUpstream, causeSnapshot, causeMarshal, causeRequest,
+	causeNetwork, causeStatus, causeRetry, causeBreakerOpen, causeGaveUp}
+
 // TestShipErrorCausesAudit drives the shipping failure modes an agent
 // can hit without a cooperating collector: no upstream, connection
-// refused, and a non-2xx response.
+// refused (with and without a retry budget), a deterministic 4xx, a
+// retried 5xx, and a tripped breaker — pinning the exact cause deltas
+// each produces.
 func TestShipErrorCausesAudit(t *testing.T) {
-	shipCauses := []string{causeNoUpstream, causeSnapshot, causeMarshal, causeRequest, causeNetwork, causeStatus}
-	newShipper := func(upstream string) *Agent {
-		a := NewAgent(AgentConfig{ID: "shipper", Upstream: upstream})
+	newShipper := func(cfg AgentConfig) *Agent {
+		cfg.ID = "shipper"
+		if cfg.ShipBackoff == 0 {
+			cfg.ShipBackoff = time.Millisecond
+		}
+		a := NewAgent(cfg)
 		t.Cleanup(a.Close)
 		if err := a.CreateStream("s", StreamConfig{Stat: "f0", P: 0.5, Presampled: true}); err != nil {
 			t.Fatal(err)
 		}
 		return a
 	}
+	deadUpstream := func() string {
+		// A listener that is immediately closed: connection refused.
+		dead := httptest.NewServer(http.NotFoundHandler())
+		deadURL := dead.URL
+		dead.Close()
+		return deadURL
+	}
 
 	t.Run("no upstream", func(t *testing.T) {
-		a := newShipper("")
+		a := newShipper(AgentConfig{})
 		before := causeValues(a.Metrics().ShipErrors, shipCauses)
 		if _, err := a.FlushAll(context.Background()); err == nil {
 			t.Fatal("flush without upstream succeeded")
@@ -143,37 +170,95 @@ func TestShipErrorCausesAudit(t *testing.T) {
 		assertCauseDelta(t, before, causeValues(a.Metrics().ShipErrors, shipCauses), causeNoUpstream)
 	})
 
-	t.Run("network", func(t *testing.T) {
-		// A listener that is immediately closed: connection refused.
-		dead := httptest.NewServer(http.NotFoundHandler())
-		deadURL := dead.URL
-		dead.Close()
-		a := newShipper(deadURL)
+	t.Run("network no retries", func(t *testing.T) {
+		a := newShipper(AgentConfig{Upstream: deadUpstream(), ShipRetries: -1})
 		before := causeValues(a.Metrics().ShipErrors, shipCauses)
 		if _, err := a.FlushAll(context.Background()); err == nil {
 			t.Fatal("flush to dead upstream succeeded")
 		}
-		assertCauseDelta(t, before, causeValues(a.Metrics().ShipErrors, shipCauses), causeNetwork)
+		assertCauseDeltas(t, before, causeValues(a.Metrics().ShipErrors, shipCauses),
+			map[string]uint64{causeNetwork: 1, causeGaveUp: 1})
 	})
 
-	t.Run("status", func(t *testing.T) {
+	t.Run("network with retries", func(t *testing.T) {
+		a := newShipper(AgentConfig{Upstream: deadUpstream(), ShipRetries: 2})
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush to dead upstream succeeded")
+		}
+		// 3 attempts, 2 scheduled re-attempts, 1 exhausted budget.
+		assertCauseDeltas(t, before, causeValues(a.Metrics().ShipErrors, shipCauses),
+			map[string]uint64{causeNetwork: 3, causeRetry: 2, causeGaveUp: 1})
+		if !a.streamDirty("s") {
+			t.Fatal("failed ship did not mark the stream dirty")
+		}
+	})
+
+	t.Run("status 4xx is not retried", func(t *testing.T) {
+		var hits atomic.Uint64
 		up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			hits.Add(1)
 			http.Error(w, "teapot", http.StatusTeapot)
 		}))
 		t.Cleanup(up.Close)
-		a := newShipper(up.URL)
+		a := newShipper(AgentConfig{Upstream: up.URL, ShipRetries: 2})
 		before := causeValues(a.Metrics().ShipErrors, shipCauses)
 		if _, err := a.FlushAll(context.Background()); err == nil {
 			t.Fatal("flush to erroring upstream succeeded")
 		}
 		after := causeValues(a.Metrics().ShipErrors, shipCauses)
-		assertCauseDelta(t, before, after, causeStatus)
+		// A deterministic rejection: one attempt, no retry, no gave_up.
+		assertCauseDeltas(t, before, after, map[string]uint64{causeStatus: 1})
+		if got := hits.Load(); got != 1 {
+			t.Fatalf("4xx upstream hit %d times, want 1", got)
+		}
 		// The failed shipment still left a ship span, with the error.
 		spans := a.Metrics().Trace.Snapshot()
 		if len(spans) == 0 || spans[0].Err == "" || spans[0].Stage != "ship" {
 			t.Fatalf("failed ship left no errored span: %+v", spans)
 		}
 	})
+
+	t.Run("status 5xx is retried", func(t *testing.T) {
+		var hits atomic.Uint64
+		up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			hits.Add(1)
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		}))
+		t.Cleanup(up.Close)
+		a := newShipper(AgentConfig{Upstream: up.URL, ShipRetries: 1})
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush to erroring upstream succeeded")
+		}
+		assertCauseDeltas(t, before, causeValues(a.Metrics().ShipErrors, shipCauses),
+			map[string]uint64{causeStatus: 2, causeRetry: 1, causeGaveUp: 1})
+		if got := hits.Load(); got != 2 {
+			t.Fatalf("5xx upstream hit %d times, want 2", got)
+		}
+	})
+
+	t.Run("breaker open fails fast", func(t *testing.T) {
+		a := newShipper(AgentConfig{Upstream: deadUpstream(), ShipRetries: -1,
+			BreakerThreshold: 1, BreakerCooldown: time.Hour})
+		// First flush trips the one-failure breaker...
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush to dead upstream succeeded")
+		}
+		before := causeValues(a.Metrics().ShipErrors, shipCauses)
+		// ...so the second fails fast without touching the network.
+		if _, err := a.FlushAll(context.Background()); err == nil {
+			t.Fatal("flush with open breaker succeeded")
+		}
+		assertCauseDeltas(t, before, causeValues(a.Metrics().ShipErrors, shipCauses),
+			map[string]uint64{causeBreakerOpen: 1})
+	})
+}
+
+// streamDirty reports stream name's dirty flag (test helper).
+func (a *Agent) streamDirty(name string) bool {
+	st, ok := a.lookup(name)
+	return ok && st.dirty.Load()
 }
 
 // f0Summary builds a self-consistent shippable summary for tests.

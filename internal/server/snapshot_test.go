@@ -1,0 +1,259 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"substream/internal/sketch"
+)
+
+// acceptWorkload ships a small deterministic fleet state into c: two
+// streams, two agents each, with distinct payload contents.
+func acceptWorkload(t *testing.T, c *Collector) {
+	t.Helper()
+	for _, stream := range []string{"flows", "bytes"} {
+		cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 7}
+		for i, agentID := range []string{"a", "b"} {
+			sum := f0Summary(agentID, stream, cfg, uint64(i+1))
+			if err := c.Accept(sum); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// estimateAll snapshots every stream's global estimate for comparison.
+func estimateAll(t *testing.T, c *Collector, streams ...string) map[string]GlobalEstimate {
+	t.Helper()
+	out := make(map[string]GlobalEstimate, len(streams))
+	for _, name := range streams {
+		est, err := c.Estimate(name)
+		if err != nil {
+			t.Fatalf("estimate %q: %v", name, err)
+		}
+		out[name] = est
+	}
+	return out
+}
+
+// TestSnapshotRoundTrip pins the durability loop: save a populated
+// collector, restore it in a fresh one, and the restored estimates,
+// agent counts, and ingest totals are identical.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCollector(CollectorConfig{SnapshotDir: dir})
+	acceptWorkload(t, c1)
+	if err := c1.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c1.Metrics().SnapshotWrite.Count(); n != 1 {
+		t.Fatalf("snapshot_write_seconds observations: %d, want 1", n)
+	}
+	if c1.Metrics().SnapshotBytes.Value() <= 0 {
+		t.Fatal("collector_snapshot_bytes not set")
+	}
+
+	c2 := NewCollector(CollectorConfig{SnapshotDir: dir})
+	want := estimateAll(t, c1, "flows", "bytes")
+	got := estimateAll(t, c2, "flows", "bytes")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored estimates diverge:\n got %+v\nwant %+v", got, want)
+	}
+	if n := c2.Metrics().SnapshotRestore.Count(); n != 1 {
+		t.Fatalf("snapshot_restore_seconds observations: %d, want 1", n)
+	}
+
+	// The restored collector keeps working: newer summaries still fold.
+	sum := f0Summary("a", "flows", StreamConfig{Stat: "f0", P: 0.5, Seed: 7}, 9)
+	if err := c2.Accept(sum); err != nil {
+		t.Fatalf("restored collector rejected a live summary: %v", err)
+	}
+}
+
+// TestSnapshotRestoreCountsAsSighting pins the staleness decision: a
+// collector that was down longer than -max-summary-age answers from the
+// restored state (the restore resets the staleness clocks) instead of
+// declaring the whole fleet stale at startup.
+func TestSnapshotRestoreCountsAsSighting(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c1 := NewCollector(CollectorConfig{SnapshotDir: dir, MaxSummaryAge: time.Minute, Now: clock})
+	if err := c1.Accept(f0Summary("a", "flows", StreamConfig{Stat: "f0", P: 0.5, Seed: 7}, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hours of downtime later...
+	now = now.Add(2 * time.Hour)
+	c2 := NewCollector(CollectorConfig{SnapshotDir: dir, MaxSummaryAge: time.Minute, Now: clock})
+	est, err := c2.Estimate("flows")
+	if err != nil {
+		t.Fatalf("restored collector refused to answer: %v", err)
+	}
+	if est.Agents != 1 || est.Skipped != 0 {
+		t.Fatalf("restored estimate: %d agents, %d skipped; want 1, 0", est.Agents, est.Skipped)
+	}
+	// The clock still runs from the restore onward.
+	now = now.Add(2 * time.Minute)
+	if _, err := c2.Estimate("flows"); err == nil {
+		t.Fatal("staleness clock did not run after the restore")
+	}
+}
+
+// TestSnapshotMissingFileIsCleanStart pins that a collector pointed at
+// an empty snapshot dir boots empty without errors.
+func TestSnapshotMissingFileIsCleanStart(t *testing.T) {
+	c := NewCollector(CollectorConfig{SnapshotDir: t.TempDir()})
+	if n := c.Metrics().SnapshotErrors.With(causeSnapshotRestore).Value(); n != 0 {
+		t.Fatalf("fresh boot bumped snapshot_errors: %d", n)
+	}
+	if _, err := c.Estimate("flows"); err == nil {
+		t.Fatal("empty collector answered for an unknown stream")
+	}
+}
+
+// assertEmptyRestore builds a collector over the (corrupt) snapshot in
+// dir and checks the contract: no panic, a bumped restore-error cause,
+// and a fully empty table — never a partial one.
+func assertEmptyRestore(t *testing.T, dir string) {
+	t.Helper()
+	c := NewCollector(CollectorConfig{SnapshotDir: dir})
+	if n := c.Metrics().SnapshotErrors.With(causeSnapshotRestore).Value(); n != 1 {
+		t.Fatalf("snapshot_errors{snapshot_restore} = %d, want 1", n)
+	}
+	c.mu.RLock()
+	streams := len(c.streams)
+	c.mu.RUnlock()
+	if streams != 0 {
+		t.Fatalf("corrupt restore left %d streams retained, want 0 (all-or-nothing)", streams)
+	}
+}
+
+// TestSnapshotCorruptionBattery sweeps every truncation length and a
+// bit flip in every byte of a valid snapshot through the full restore
+// path: each must fail cleanly into "start empty + warn" — no panic, no
+// partial table. The CRC trailer is what makes the flip sweep total:
+// structural validation alone cannot see a content-preserving flip, the
+// checksum catches them all.
+func TestSnapshotCorruptionBattery(t *testing.T) {
+	srcDir := t.TempDir()
+	c := NewCollector(CollectorConfig{SnapshotDir: srcDir})
+	acceptWorkload(t, c)
+	if err := c.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(filepath.Join(srcDir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every prefix truncation must fail the decode (the trailer no
+	// longer matches the shortened body).
+	for n := 0; n < len(good); n++ {
+		if _, err := decodeSnapshot(good[:n]); err == nil {
+			t.Fatalf("decode accepted %d-byte truncation of a %d-byte snapshot", n, len(good))
+		}
+	}
+	// Every single-bit flip is caught — CRC-32 detects all 1-bit errors.
+	for i := range good {
+		mut := append([]byte{}, good...)
+		mut[i] ^= 1 << (i % 8)
+		if _, err := decodeSnapshot(mut); err == nil {
+			t.Fatalf("decode accepted a bit flip at byte %d", i)
+		}
+	}
+
+	// The same classes through the full NewCollector restore path, on a
+	// sample (a fresh collector per case keeps the sweep affordable).
+	dir := t.TempDir()
+	path := filepath.Join(dir, snapshotFile)
+	writeCase := func(data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{0, 1, 3, len(good) / 2, len(good) - 5, len(good) - 1} {
+		writeCase(good[:n])
+		assertEmptyRestore(t, dir)
+	}
+	for _, i := range []int{0, 2, 7, len(good) / 3, len(good) / 2, len(good) - 1} {
+		mut := append([]byte{}, good...)
+		mut[i] ^= 0x10
+		writeCase(mut)
+		assertEmptyRestore(t, dir)
+	}
+
+	// A snapshot whose CRC is VALID but whose last entry fails
+	// re-validation must also be abandoned whole: the all-or-nothing
+	// staging, not just the checksum, guards the table. Built by hand —
+	// one good entry followed by one with an undecodable payload, CRC
+	// recomputed over the forged body.
+	cfg := StreamConfig{Stat: "f0", P: 0.5, Seed: 7}
+	goodEntry, err := json.Marshal(f0Summary("a", "flows", cfg, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badEntry, err := json.Marshal(Summary{Agent: "b", Stream: "flows", Seq: 1,
+		Config: cfg, Payload: []byte{0xff, 0x01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sketch.Writer{}
+	w.U8(snapshotMagic0)
+	w.U8(snapshotMagic1)
+	w.U8(snapshotVersion)
+	w.I64(time.Now().UnixNano())
+	w.U32(2)
+	w.Nested(goodEntry)
+	w.I64(time.Now().UnixNano())
+	w.Nested(badEntry)
+	w.I64(time.Now().UnixNano())
+	forged := w.Bytes()
+	forged = binary.LittleEndian.AppendUint32(forged, crc32.ChecksumIEEE(forged))
+	writeCase(forged)
+	assertEmptyRestore(t, dir)
+}
+
+// TestSnapshotRunWritesPeriodically drives Collector.Run with a short
+// interval and checks checkpoints land, including the final shutdown
+// write.
+func TestSnapshotRunWritesPeriodically(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCollector(CollectorConfig{SnapshotDir: dir, SnapshotInterval: 5 * time.Millisecond})
+	acceptWorkload(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Run(ctx) }()
+
+	path := filepath.Join(dir, snapshotFile)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic snapshot appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("final shutdown snapshot: %v", err)
+	}
+	// The shutdown write left a restorable checkpoint.
+	c2 := NewCollector(CollectorConfig{SnapshotDir: dir})
+	if !reflect.DeepEqual(estimateAll(t, c2, "flows", "bytes"), estimateAll(t, c, "flows", "bytes")) {
+		t.Fatal("restored estimates diverge from the live collector's")
+	}
+}
